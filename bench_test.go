@@ -1,0 +1,419 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table/figure of the paper's
+// evaluation section, plus ablations for the design choices DESIGN.md calls
+// out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment harness (larger datasets, formatted tables) lives in
+// cmd/experiments; these benches are the regenerable, per-figure entry
+// points with stable workloads.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/parafac2"
+	"repro/internal/rng"
+	"repro/internal/rsvd"
+	"repro/internal/scheduler"
+	"repro/internal/tensor"
+)
+
+func benchConfig(rank int) parafac2.Config {
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = rank
+	cfg.MaxIters = 10
+	cfg.Threads = 2
+	return cfg
+}
+
+// benchTensor is a mid-size irregular tensor in the stock-data regime.
+func benchTensor(seed uint64) *tensor.Irregular {
+	g := rng.New(seed)
+	rows := datagen.LongTailRows(g, 40, 100, 600)
+	return datagen.LowRank(g, rows, 88, 10, 0.05)
+}
+
+// --- Fig. 1: total running time per method (trade-off) -------------------
+
+func BenchmarkFig1TradeOff(b *testing.B) {
+	ten := benchTensor(1)
+	for _, m := range experiments.Methods() {
+		for _, rank := range []int{10, 15, 20} {
+			b.Run(fmt.Sprintf("%s/rank%d", m.Name, rank), func(b *testing.B) {
+				cfg := benchConfig(rank)
+				var fit float64
+				for i := 0; i < b.N; i++ {
+					res, err := m.Run(ten, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fit = res.Fitness
+				}
+				b.ReportMetric(fit, "fitness")
+			})
+		}
+	}
+}
+
+// --- Fig. 9(a): preprocessing phase only ----------------------------------
+
+func BenchmarkFig9Preprocess(b *testing.B) {
+	ten := benchTensor(2)
+	b.Run("DPar2/two-stage-rsvd", func(b *testing.B) {
+		cfg := benchConfig(10)
+		for i := 0; i < b.N; i++ {
+			_ = parafac2.Compress(ten, cfg)
+		}
+	})
+	b.Run("RD-ALS/deterministic-svd", func(b *testing.B) {
+		// RD-ALS's preprocessing: truncated deterministic SVD of the
+		// J×ΣI_k concatenation.
+		concat := make([]*mat.Dense, ten.K())
+		for k, s := range ten.Slices {
+			concat[k] = s.T()
+		}
+		wide := mat.HConcat(concat...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = lapack.Truncated(wide, 10)
+		}
+	})
+}
+
+// --- Fig. 9(b): single-iteration cost -------------------------------------
+
+func BenchmarkFig9IterationTime(b *testing.B) {
+	ten := benchTensor(3)
+	for _, m := range experiments.Methods() {
+		b.Run(m.Name, func(b *testing.B) {
+			cfg := benchConfig(10)
+			cfg.MaxIters = 8
+			cfg.Tol = 0 // run all iterations: we report per-iteration time
+			var perIter float64
+			for i := 0; i < b.N; i++ {
+				res, err := m.Run(ten, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perIter = res.IterTime.Seconds() / float64(res.Iters) * 1e3
+			}
+			b.ReportMetric(perIter, "ms/als-iter")
+		})
+	}
+}
+
+// --- Fig. 10: compression ratio --------------------------------------------
+
+func BenchmarkFig10CompressionRatio(b *testing.B) {
+	// Spectrogram regime (large J): where the paper sees up to 201x.
+	g := rng.New(4)
+	ten := datagen.SpectrogramTensor(g, 16, 60, 160, 256)
+	cfg := benchConfig(10)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		comp := parafac2.Compress(ten, cfg)
+		ratio = float64(ten.SizeBytes()) / float64(comp.SizeBytes())
+	}
+	b.ReportMetric(ratio, "input/compressed")
+}
+
+// --- Fig. 11(a): tensor-size scalability -----------------------------------
+
+func BenchmarkFig11TensorSize(b *testing.B) {
+	for _, s := range [][3]int{{50, 50, 25}, {100, 50, 25}, {100, 100, 25}, {100, 100, 50}} {
+		g := rng.New(5)
+		ten := datagen.RandomIrregular(g, s[0], s[1], s[2])
+		for _, m := range experiments.Methods() {
+			b.Run(fmt.Sprintf("%dx%dx%d/%s", s[0], s[1], s[2], m.Name), func(b *testing.B) {
+				cfg := benchConfig(10)
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Run(ten, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Fig. 11(b): rank scalability -------------------------------------------
+
+func BenchmarkFig11Rank(b *testing.B) {
+	g := rng.New(6)
+	ten := datagen.RandomIrregular(g, 100, 100, 40)
+	for _, rank := range []int{10, 20, 30, 40, 50} {
+		for _, m := range experiments.Methods() {
+			b.Run(fmt.Sprintf("rank%d/%s", rank, m.Name), func(b *testing.B) {
+				cfg := benchConfig(rank)
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Run(ten, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Fig. 11(c): multi-core scalability -------------------------------------
+
+func BenchmarkFig11Threads(b *testing.B) {
+	ten := benchTensor(7)
+	for _, th := range []int{1, 2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("threads%d", th), func(b *testing.B) {
+			cfg := benchConfig(10)
+			cfg.Threads = th
+			for i := 0; i < b.N; i++ {
+				if _, err := parafac2.DPar2(ten, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 12 / Table III: discovery pipeline --------------------------------
+
+func BenchmarkFig12Correlations(b *testing.B) {
+	g := rng.New(8)
+	ten, sec := datagen.StockTensor(g, 24, 80, 300, datagen.DefaultUSMarket())
+	d := experiments.Dataset{Name: "US Stock", Tensor: ten, Sectors: sec}
+	cfg := benchConfig(10)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig12(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIISimilarStocks(b *testing.B) {
+	g := rng.New(9)
+	ten, sec := datagen.StockTensor(g, 24, 80, 300, datagen.DefaultUSMarket())
+	d := experiments.Dataset{Name: "US Stock", Tensor: ten, Sectors: sec}
+	cfg := benchConfig(10)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(d, cfg, 0, 10, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II: dataset generation cost --------------------------------------
+
+func BenchmarkTableIIGenerators(b *testing.B) {
+	b.Run("stock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			datagen.StockTensor(rng.New(uint64(i)), 12, 80, 300, datagen.DefaultUSMarket())
+		}
+	})
+	b.Run("spectrogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			datagen.SpectrogramTensor(rng.New(uint64(i)), 8, 60, 120, 256)
+		}
+	})
+	b.Run("traffic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			datagen.TrafficTensor(rng.New(uint64(i)), 16, 100, 96)
+		}
+	})
+}
+
+// --- Ablations (DESIGN.md §4) ------------------------------------------------
+
+// AblationStage2: two-stage compression vs stopping after stage 1. The
+// second stage is what shrinks the per-iteration working set from J×KR to
+// R-sized blocks; skipping it leaves BkCkᵀ (J×R per slice) in the loop.
+func BenchmarkAblationStage2(b *testing.B) {
+	ten := benchTensor(10)
+	cfg := benchConfig(10)
+	b.Run("two-stage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := parafac2.Compress(ten, cfg)
+			if _, err := parafac2.DPar2FromCompressed(comp, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stage1-only-als-on-compressed", func(b *testing.B) {
+		// Stage-1-only strategy: replace each slice by its rank-R
+		// approximation and run plain ALS on the (still J-wide) result.
+		g := rng.New(11)
+		opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
+		slices := make([]*mat.Dense, ten.K())
+		for k, s := range ten.Slices {
+			d := rsvd.Decompose(g, s, cfg.Rank, opts)
+			slices[k] = d.Reconstruct()
+		}
+		approx := tensor.MustIrregular(slices)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := parafac2.ALS(approx, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// AblationLemmaReorder: Lemmas 1-3 vs materializing Y and running the naive
+// MTTKRP (what a straightforward implementation would do).
+func BenchmarkAblationLemmaReorder(b *testing.B) {
+	g := rng.New(12)
+	r, j, k := 10, 512, 300
+	d := lapack.QRFactor(mat.Gaussian(g, j, r)).Q
+	e := make([]float64, r)
+	for i := range e {
+		e[i] = 1 + g.Float64()
+	}
+	tf := make([]*mat.Dense, k)
+	for kk := range tf {
+		tf[kk] = mat.Gaussian(g, r, r)
+	}
+	w := mat.Gaussian(g, k, r)
+	v := mat.Gaussian(g, j, r)
+	h := mat.Gaussian(g, r, r)
+
+	b.Run("lemma-reordered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dtv := d.TMul(v)
+			parafac2.LemmaG1(tf, w, e, dtv, 2)
+			parafac2.LemmaG2(tf, w, d, e, h, 2)
+			parafac2.LemmaG3(tf, e, dtv, h, 2)
+		}
+	})
+	b.Run("naive-materialized-Y", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ySlices := make([]*mat.Dense, k)
+			for kk := range ySlices {
+				ySlices[kk] = tf[kk].ScaleColumns(e).MulT(d)
+			}
+			y := tensor.MustDense3(ySlices)
+			y.MTTKRP(1, w, v)
+			y.MTTKRP(2, w, h)
+			y.MTTKRP(3, v, h)
+		}
+	})
+}
+
+// AblationConvergence: compressed convergence check (Gram trick) vs the
+// paper's direct R×J computation vs full reconstruction error.
+func BenchmarkAblationConvergence(b *testing.B) {
+	ten := benchTensor(13)
+	cfg := benchConfig(10)
+	comp := parafac2.Compress(ten, cfg)
+	res, err := parafac2.DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf := make([]*mat.Dense, ten.K())
+	for k := range tf {
+		tf[k] = res.Q[k].TMul(comp.A[k]).Mul(comp.F[k])
+	}
+	b.Run("gram-trick", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dtv := comp.D.TMul(res.V)
+			parafac2.CompressedErrorGram2(tf, comp.E, dtv, res.V, res.H, res.S)
+		}
+	})
+	b.Run("direct-RxJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parafac2.CompressedErrorDirect2(comp, tf, res.V, res.H, res.S)
+		}
+	})
+	b.Run("full-reconstruction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for k, xk := range ten.Slices {
+				d := xk.FrobDist(res.ReconstructSlice(k))
+				sum += d * d
+			}
+			_ = sum
+		}
+	})
+}
+
+// AblationPartition: greedy (Alg. 4) vs round-robin slice allocation under
+// the long-tailed slice-height distribution of Fig. 8.
+func BenchmarkAblationPartition(b *testing.B) {
+	g := rng.New(14)
+	sizes := datagen.LongTailRows(g, 4000, 50, 5000)
+	b.Run("greedy", func(b *testing.B) {
+		var imb float64
+		for i := 0; i < b.N; i++ {
+			imb = schedImbalanceGreedy(sizes, 6)
+		}
+		b.ReportMetric(imb, "max/ideal-load")
+	})
+	b.Run("round-robin", func(b *testing.B) {
+		var imb float64
+		for i := 0; i < b.N; i++ {
+			imb = schedImbalanceRR(sizes, 6)
+		}
+		b.ReportMetric(imb, "max/ideal-load")
+	})
+}
+
+func schedImbalanceGreedy(sizes []int, t int) float64 {
+	return scheduler.Imbalance(sizes, scheduler.Partition(sizes, t))
+}
+
+func schedImbalanceRR(sizes []int, t int) float64 {
+	return scheduler.Imbalance(sizes, scheduler.RoundRobin(len(sizes), t))
+}
+
+// AblationPowerIter: randomized-SVD power iterations q ∈ {0,1,2} — the
+// fitness/time trade-off of the sketch.
+func BenchmarkAblationPowerIter(b *testing.B) {
+	ten := benchTensor(15)
+	for _, q := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("q%d", q), func(b *testing.B) {
+			cfg := benchConfig(10)
+			cfg.PowerIters = q
+			var fit float64
+			for i := 0; i < b.N; i++ {
+				res, err := parafac2.DPar2(ten, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fit = res.Fitness
+			}
+			b.ReportMetric(fit, "fitness")
+		})
+	}
+}
+
+// --- kernel-level microbenches ------------------------------------------------
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	g := rng.New(16)
+	for _, n := range []int{64, 256} {
+		a := mat.Gaussian(g, n, n)
+		c := mat.Gaussian(g, n, n)
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Mul(c)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelRandomizedSVD(b *testing.B) {
+	g := rng.New(17)
+	a := mat.Gaussian(g, 2000, 100)
+	b.Run("rsvd-rank10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rsvd.Decompose(g, a, 10, rsvd.DefaultOptions())
+		}
+	})
+	b.Run("deterministic-rank10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lapack.Truncated(a, 10)
+		}
+	})
+}

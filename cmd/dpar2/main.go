@@ -1,0 +1,216 @@
+// Command dpar2 decomposes an irregular dense tensor with a chosen
+// PARAFAC2 method and reports fitness and timing.
+//
+// The tensor is either generated (-data with one of the Table II stand-ins
+// or "random"/"lowrank") or loaded from a directory of CSV slice files
+// (-input dir, one file per slice, rows = I_k, comma-separated columns = J).
+//
+// Examples:
+//
+//	dpar2 -data "US Stock" -rank 10 -method dpar2
+//	dpar2 -data random -I 200 -J 100 -K 50 -method als
+//	dpar2 -input ./slices -rank 15 -method rdals -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/parafac2"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		data        = flag.String("data", "lowrank", `generated dataset: one of the Table II names ("FMA", "US Stock", ...), "random", or "lowrank"`)
+		input       = flag.String("input", "", "directory of CSV slice files (overrides -data)")
+		method      = flag.String("method", "dpar2", "dpar2 | rdals | als | spartan")
+		rank        = flag.Int("rank", 10, "target rank R")
+		iters       = flag.Int("iters", 32, "max ALS iterations")
+		tol         = flag.Float64("tol", 1e-6, "relative convergence tolerance")
+		threads     = flag.Int("threads", 6, "worker threads")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		dimI        = flag.Int("I", 200, "slice height for -data random/lowrank")
+		dimJ        = flag.Int("J", 100, "columns for -data random/lowrank")
+		dimK        = flag.Int("K", 50, "slices for -data random/lowrank")
+		noise       = flag.Float64("noise", 0.05, "relative noise for -data lowrank")
+		verbose     = flag.Bool("v", false, "print per-iteration convergence trace")
+		saveFactors = flag.String("save-factors", "", "write the factor matrices to this file (binary DPF2 format)")
+		saveTensor  = flag.String("save-tensor", "", "write the (generated/loaded) tensor to this file (binary DPT2 format)")
+		loadBinary  = flag.String("load-tensor", "", "read a binary DPT2 tensor file (overrides -data and -input)")
+	)
+	flag.Parse()
+
+	var ten *tensor.Irregular
+	var err error
+	if *loadBinary != "" {
+		ten, err = dataio.LoadTensor(*loadBinary)
+	} else {
+		ten, err = loadTensor(*input, *data, *seed, *dimI, *dimJ, *dimK, *noise)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpar2:", err)
+		os.Exit(1)
+	}
+	if *saveTensor != "" {
+		if err := dataio.SaveTensor(*saveTensor, ten); err != nil {
+			fmt.Fprintln(os.Stderr, "dpar2: save tensor:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tensor written to %s\n", *saveTensor)
+	}
+
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = *rank
+	cfg.MaxIters = *iters
+	cfg.Tol = *tol
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	cfg.TrackConvergence = *verbose
+
+	var res *parafac2.Result
+	switch strings.ToLower(*method) {
+	case "dpar2":
+		res, err = parafac2.DPar2(ten, cfg)
+	case "rdals", "rd-als":
+		res, err = parafac2.RDALS(ten, cfg)
+	case "als", "parafac2-als":
+		res, err = parafac2.ALS(ten, cfg)
+	case "spartan":
+		res, err = parafac2.SPARTan(ten, cfg)
+	default:
+		err = fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpar2:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("method        %s\n", *method)
+	fmt.Printf("tensor        K=%d slices, J=%d columns, max I_k=%d, %d elements\n",
+		ten.K(), ten.J, ten.MaxRows(), ten.NumElements())
+	fmt.Printf("rank          %d\n", cfg.Rank)
+	fmt.Printf("iterations    %d\n", res.Iters)
+	fmt.Printf("fitness       %.6f\n", res.Fitness)
+	fmt.Printf("preprocess    %v\n", res.PreprocessTime)
+	fmt.Printf("iteration     %v total", res.IterTime)
+	if res.Iters > 0 {
+		fmt.Printf(" (%v/iter)", res.IterTime/time.Duration(res.Iters))
+	}
+	fmt.Println()
+	fmt.Printf("total         %v\n", res.TotalTime)
+	fmt.Printf("footprint     input %.2f MB, iterated-on %.2f MB (%.1fx smaller)\n",
+		float64(ten.SizeBytes())/(1<<20), float64(res.PreprocessedBytes)/(1<<20),
+		float64(ten.SizeBytes())/float64(res.PreprocessedBytes))
+	if *verbose {
+		for i, e := range res.ConvergenceTrace {
+			fmt.Printf("iter %3d  convergence measure %.6g\n", i+1, e)
+		}
+	}
+	if *saveFactors != "" {
+		if err := dataio.SaveResult(*saveFactors, res); err != nil {
+			fmt.Fprintln(os.Stderr, "dpar2: save factors:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "factors written to %s\n", *saveFactors)
+	}
+}
+
+// loadTensor resolves the input tensor: CSV directory, a named Table II
+// stand-in, or a parameterized synthetic.
+func loadTensor(inputDir, data string, seed uint64, i, j, k int, noise float64) (*tensor.Irregular, error) {
+	if inputDir != "" {
+		return loadCSVDir(inputDir)
+	}
+	g := rng.New(seed)
+	switch strings.ToLower(data) {
+	case "random":
+		return datagen.RandomIrregular(g, i, j, k), nil
+	case "lowrank":
+		rows := make([]int, k)
+		for idx := range rows {
+			rows[idx] = i/2 + g.Intn(i/2+1)
+		}
+		return datagen.LowRank(g, rows, j, 10, noise), nil
+	default:
+		d, ok := experiments.Load(seed, experiments.ScaleBench, data)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q (try one of the Table II names, random, lowrank)", data)
+		}
+		return d.Tensor, nil
+	}
+}
+
+// loadCSVDir reads every *.csv in dir (sorted by name) as one slice.
+func loadCSVDir(dir string) (*tensor.Irregular, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .csv files in %s", dir)
+	}
+	sort.Strings(names)
+	slices := make([]*mat.Dense, 0, len(names))
+	for _, n := range names {
+		m, err := readCSVMatrix(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		slices = append(slices, m)
+	}
+	return tensor.NewIrregular(slices)
+}
+
+func readCSVMatrix(path string) (*mat.Dense, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var rows [][]float64
+	for ln, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for fi, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d field %d: %w", ln+1, fi+1, err)
+			}
+			row[fi] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("ragged row at line %d", ln+1)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	m := mat.New(len(rows), len(rows[0]))
+	for ri, row := range rows {
+		copy(m.Row(ri), row)
+	}
+	return m, nil
+}

@@ -1,0 +1,171 @@
+// Command experiments regenerates the tables and figures of the DPar2
+// paper's evaluation section on synthetic stand-in datasets and prints them
+// as plain-text tables.
+//
+//	experiments -all                 # everything (minutes)
+//	experiments -fig 1               # trade-off curves (Fig. 1)
+//	experiments -fig 9               # preprocessing + per-iteration time
+//	experiments -fig 10              # preprocessed data size
+//	experiments -fig 11a|11b|11c     # scalability sweeps
+//	experiments -fig 8|12            # data profile / correlation heatmaps
+//	experiments -table 2|3           # dataset summary / similar stocks
+//	experiments -scale test          # tiny versions (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/parafac2"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12")
+		table = flag.String("table", "", "table to regenerate: 2, 3")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.String("scale", "bench", "dataset scale: bench | test")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		rank  = flag.Int("rank", 10, "base target rank")
+		iters = flag.Int("iters", 32, "max ALS iterations")
+	)
+	flag.Parse()
+
+	sc := experiments.ScaleBench
+	if *scale == "test" {
+		sc = experiments.ScaleTest
+	}
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = *rank
+	cfg.MaxIters = *iters
+	cfg.Seed = *seed
+
+	run := func(name string) bool { return *all || *fig == name || *table == name }
+
+	if !*all && *fig == "" && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var datasets []experiments.Dataset
+	need := *all || *fig == "1" || *fig == "8" || *fig == "9" || *fig == "10" || *table == "2"
+	if need {
+		fmt.Fprintln(os.Stderr, "generating datasets...")
+		datasets = experiments.LoadAll(*seed, sc)
+	}
+
+	if run("2") && *fig == "" {
+		experiments.TableII(datasets).Fprint(os.Stdout)
+	}
+	if run("8") && *table == "" {
+		experiments.Fig8Table(datasets).Fprint(os.Stdout)
+	}
+	if run("1") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 1 trade-off (all methods, ranks 10/15/20)...")
+		ranks := []int{10, 15, 20}
+		if sc == experiments.ScaleTest {
+			ranks = []int{5}
+		}
+		results, err := experiments.Fig1(datasets, ranks, cfg)
+		fail(err)
+		experiments.Fig1Table(results).Fprint(os.Stdout)
+	}
+	if (run("9") || run("10")) && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 9/10 measurements...")
+		results, err := experiments.Fig9(datasets, cfg)
+		fail(err)
+		if run("9") {
+			experiments.Fig9aTable(results).Fprint(os.Stdout)
+			experiments.Fig9bTable(results).Fprint(os.Stdout)
+		}
+		if run("10") {
+			experiments.Fig10Table(results).Fprint(os.Stdout)
+		}
+	}
+	if run("11a") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 11(a) size sweep...")
+		shrink := 10
+		if sc == experiments.ScaleTest {
+			shrink = 40
+		}
+		pts, err := experiments.Fig11a(*seed, experiments.Fig11aSizes(shrink), cfg)
+		fail(err)
+		experiments.Fig11aTable(pts).Fprint(os.Stdout)
+	}
+	if run("11b") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 11(b) rank sweep...")
+		i, j, k := 200, 200, 60
+		ranks := []int{10, 20, 30, 40, 50}
+		if sc == experiments.ScaleTest {
+			i, j, k = 60, 50, 10
+			ranks = []int{5, 10}
+		}
+		pts, err := experiments.Fig11b(*seed, i, j, k, ranks, cfg)
+		fail(err)
+		experiments.Fig11bTable(pts).Fprint(os.Stdout)
+	}
+	if run("11c") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 11(c) thread sweep...")
+		i, j, k := 200, 200, 60
+		threads := []int{1, 2, 4, 6, 8, 10}
+		if sc == experiments.ScaleTest {
+			i, j, k = 60, 50, 10
+			threads = []int{1, 2}
+		}
+		pts, err := experiments.Fig11c(*seed, i, j, k, threads, cfg)
+		fail(err)
+		experiments.Fig11cTable(pts).Fprint(os.Stdout)
+	}
+	if run("12") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running Fig. 12 correlation analysis...")
+		for _, name := range []string{"US Stock", "KR Stock"} {
+			d, ok := experiments.Load(*seed, sc, name)
+			if !ok {
+				fail(fmt.Errorf("dataset %q missing", name))
+			}
+			corr, labels, err := experiments.Fig12(d, cfg)
+			fail(err)
+			experiments.Fig12Table("Fig. 12: "+name+" feature correlations", corr, labels).Fprint(os.Stdout)
+		}
+	}
+	if run("3") && *fig == "" {
+		fmt.Fprintln(os.Stderr, "running Table III similar-stock discovery...")
+		d, ok := experiments.Load(*seed, sc, "US Stock")
+		if !ok {
+			fail(fmt.Errorf("US Stock dataset missing"))
+		}
+		// Query: the stock with the median listing period, so plenty of
+		// stocks share (at least) its range.
+		target := medianRowsIndex(d)
+		res, err := experiments.TableIII(d, cfg, target, 10, 0.01)
+		fail(err)
+		experiments.TableIIITable(res).Fprint(os.Stdout)
+		fmt.Printf("sector precision: kNN %.2f, RWR %.2f\n\n",
+			experiments.SectorPrecision(res, res.KNN),
+			experiments.SectorPrecision(res, res.RWR))
+	}
+}
+
+func medianRowsIndex(d experiments.Dataset) int {
+	rows := d.Tensor.Rows()
+	type pair struct{ rows, idx int }
+	ps := make([]pair, len(rows))
+	for i, r := range rows {
+		ps[i] = pair{r, i}
+	}
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].rows < ps[j-1].rows; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	return ps[len(ps)/4].idx // lower quartile: many stocks cover its range
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleDPar2 decomposes a small irregular tensor and reports the fitness.
+func ExampleDPar2() {
+	g := repro.NewRNG(1)
+	// Exact rank-3 PARAFAC2 structure: fitness must reach ~1.
+	ten := repro.LowRankTensor(g, []int{40, 60, 50}, 20, 3, 0)
+
+	cfg := repro.DefaultConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 200
+	cfg.Tol = 1e-12
+	cfg.Threads = 1
+
+	res, err := repro.DPar2(ten, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitness > 0.99: %v\n", res.Fitness > 0.99)
+	fmt.Printf("V shape: %dx%d\n", res.V.Rows, res.V.Cols)
+	// Output:
+	// fitness > 0.99: true
+	// V shape: 20x3
+}
+
+// ExampleCompress shows amortizing the two-stage compression across runs.
+func ExampleCompress() {
+	g := repro.NewRNG(2)
+	ten := repro.LowRankTensor(g, []int{50, 70}, 25, 4, 0.01)
+
+	cfg := repro.DefaultConfig()
+	cfg.Rank = 4
+	cfg.Threads = 1
+
+	comp := repro.Compress(ten, cfg)
+	fmt.Printf("compressed smaller than input: %v\n", comp.SizeBytes() < ten.SizeBytes())
+
+	res, err := repro.DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitness > 0.95: %v\n", repro.Fitness(ten, res) > 0.95)
+	// Output:
+	// compressed smaller than input: true
+	// fitness > 0.95: true
+}
+
+// ExampleDetectAnomalies flags a corrupted slice by its residual.
+func ExampleDetectAnomalies() {
+	g := repro.NewRNG(3)
+	ten := repro.LowRankTensor(g, []int{40, 40, 40, 40, 40, 40}, 16, 2, 0.01)
+	// Replace slice 4 with pure noise.
+	g.NormSlice(ten.Slices[4].Data)
+
+	cfg := repro.DefaultConfig()
+	cfg.Rank = 2
+	cfg.Threads = 1
+	res, err := repro.DPar2(ten, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range repro.DetectAnomalies(ten, res, 3.5) {
+		fmt.Printf("anomalous slice: %d\n", a.Slice)
+	}
+	// Output:
+	// anomalous slice: 4
+}
+
+// ExampleKNN finds the nearest neighbors under a similarity matrix.
+func ExampleKNN() {
+	sim := repro.NewMatrixFromData(3, 3, []float64{
+		1.0, 0.9, 0.1,
+		0.9, 1.0, 0.2,
+		0.1, 0.2, 1.0,
+	})
+	for _, n := range repro.KNN(sim, 0, 2) {
+		fmt.Printf("neighbor %d score %.1f\n", n.Index, n.Score)
+	}
+	// Output:
+	// neighbor 1 score 0.9
+	// neighbor 2 score 0.1
+}

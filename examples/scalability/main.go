@@ -1,0 +1,53 @@
+// Scalability: a miniature of the paper's Fig. 11 — how DPar2's running
+// time grows with tensor size and rank compared to PARAFAC2-ALS.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.MaxIters = 10
+
+	fmt.Println("== running time vs tensor size (I x J x K, rank 10) ==")
+	fmt.Printf("%-16s %12s %14s %8s\n", "size", "DPar2", "PARAFAC2-ALS", "ratio")
+	for _, s := range [][3]int{{60, 60, 20}, {120, 60, 20}, {120, 120, 20}, {120, 120, 40}} {
+		g := repro.NewRNG(1)
+		ten := repro.RandomTensor(g, s[0], s[1], s[2])
+		dp := mustRun(repro.DPar2, ten, cfg)
+		als := mustRun(repro.ALS, ten, cfg)
+		fmt.Printf("%-16s %12v %14v %7.1fx\n",
+			fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]),
+			dp.Round(time.Millisecond), als.Round(time.Millisecond),
+			als.Seconds()/dp.Seconds())
+	}
+
+	fmt.Println("\n== running time vs rank (120x120x40) ==")
+	fmt.Printf("%-6s %12s %14s %8s\n", "rank", "DPar2", "PARAFAC2-ALS", "ratio")
+	g := repro.NewRNG(2)
+	ten := repro.RandomTensor(g, 120, 120, 40)
+	for _, r := range []int{5, 10, 20, 40} {
+		c := cfg
+		c.Rank = r
+		dp := mustRun(repro.DPar2, ten, c)
+		als := mustRun(repro.ALS, ten, c)
+		fmt.Printf("%-6d %12v %14v %7.1fx\n", r,
+			dp.Round(time.Millisecond), als.Round(time.Millisecond),
+			als.Seconds()/dp.Seconds())
+	}
+}
+
+func mustRun(f func(*repro.Irregular, repro.Config) (*repro.Result, error), t *repro.Irregular, cfg repro.Config) time.Duration {
+	res, err := f(t, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.TotalTime
+}

@@ -1,0 +1,69 @@
+// Sound analysis: decompose a collection of log-power spectrograms (the
+// FMA/Urban regime of the paper: large frequency dimension, strongly
+// compressible slices) and inspect what the compression buys.
+//
+//	go run ./examples/soundanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	g := repro.NewRNG(5)
+
+	// 30 "songs": time × 256 frequency bins, 80-240 frames each.
+	ten := repro.NewSpectrogramTensor(g, 30, 80, 240, 256)
+	fmt.Printf("spectrogram tensor: K=%d songs, J=%d bins, %.1f MB dense\n",
+		ten.K(), ten.J, float64(ten.SizeBytes())/(1<<20))
+
+	cfg := repro.DefaultConfig()
+	cfg.Rank = 10
+
+	// Compress once, reuse for two runs (e.g. hyperparameter exploration).
+	comp := repro.Compress(ten, cfg)
+	fmt.Printf("two-stage compression: %.2f MB (%.0fx smaller than input)\n",
+		float64(comp.SizeBytes())/(1<<20),
+		float64(ten.SizeBytes())/float64(comp.SizeBytes()))
+
+	res, err := repro.DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit := repro.Fitness(ten, res)
+	fmt.Printf("DPar2: fitness %.4f, %d iterations, iteration phase %v\n\n",
+		fit, res.Iters, res.IterTime.Round(1e6))
+
+	// The rows of V are per-frequency latent loadings: dominant bins per
+	// component show which spectral bands each component captures.
+	fmt.Println("dominant frequency bins per component (|V| column peaks):")
+	for r := 0; r < cfg.Rank; r++ {
+		col := res.V.Col(r)
+		best, bestAbs := 0, 0.0
+		for b, v := range col {
+			if a := abs(v); a > bestAbs {
+				best, bestAbs = b, a
+			}
+		}
+		bar := strings.Repeat("#", int(40*float64(best)/256))
+		fmt.Printf("  component %2d: bin %3d %s\n", r, best, bar)
+	}
+
+	// Reconstruction check on one slice.
+	k := 3
+	rec := res.ReconstructSlice(k)
+	orig := ten.Slices[k]
+	rel := rec.FrobDist(orig) / orig.FrobNorm()
+	fmt.Printf("\nslice %d reconstruction relative error: %.3f\n", k, rel)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+// Streaming: maintain a PARAFAC2 decomposition while slices keep arriving —
+// the future-work setting named in the paper's conclusion (cf. SPADE for
+// sparse data). New slices are compressed once and folded into the existing
+// two-stage representation; old slices are never touched again.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	g := repro.NewRNG(21)
+
+	// The "full history" this stream will eventually have seen: 48 slices.
+	rows := make([]int, 48)
+	for i := range rows {
+		rows[i] = 80 + 7*i%220
+	}
+	full := repro.LowRankTensor(g, rows, 40, 8, 0.03)
+
+	cfg := repro.DefaultConfig()
+	cfg.Rank = 8
+	cfg.MaxIters = 20
+
+	// Bootstrap with the first 12 slices.
+	first, err := repro.NewIrregular(full.Slices[:12])
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	stream, err := repro.NewStreamingDPar2(first, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: K=%2d  fitness(all seen)=%.4f  (%v)\n",
+		stream.K(), fitnessOverSeen(full, stream), time.Since(start).Round(time.Millisecond))
+
+	// Absorb the rest in batches of 6, as if they arrived over time.
+	for lo := 12; lo < 48; lo += 6 {
+		batchStart := time.Now()
+		if err := stream.Absorb(full.Slices[lo : lo+6]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("absorb 6 : K=%2d  fitness(all seen)=%.4f  (%v)\n",
+			stream.K(), fitnessOverSeen(full, stream), time.Since(batchStart).Round(time.Millisecond))
+	}
+
+	// Compare against decomposing the full tensor from scratch.
+	batch, err := repro.DPar2(full, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfrom-scratch on all 48 slices: fitness %.4f in %v\n",
+		batch.Fitness, batch.TotalTime.Round(time.Millisecond))
+	fmt.Printf("streaming final:               fitness %.4f (compressed state %.2f MB)\n",
+		fitnessOverSeen(full, stream), float64(stream.Compressed().SizeBytes())/(1<<20))
+}
+
+func fitnessOverSeen(full *repro.Irregular, s *repro.StreamingDPar2) float64 {
+	seen, err := repro.NewIrregular(full.Slices[:s.K()])
+	if err != nil {
+		log.Fatal(err)
+	}
+	return repro.Fitness(seen, s.Result())
+}

@@ -1,0 +1,125 @@
+package cp
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func exactCPTensor(g *rng.RNG, i, j, k, r int) (*tensor.Dense3, Factors) {
+	f := RandomFactors(g, i, j, k, r)
+	return tensor.CPReconstruct(f.A, f.B, f.C), f
+}
+
+func TestDecomposeExactRankRecovers(t *testing.T) {
+	g := rng.New(1)
+	y, _ := exactCPTensor(g, 12, 10, 8, 3)
+	// ALS passes through low-progress "swamps" on the way to the exact
+	// solution, so disable early stopping and give it room.
+	res := Decompose(rng.New(2), y, 3, 2000, 0)
+	if res.Fitness < 0.9999 {
+		t.Fatalf("fitness %v on exact rank-3 tensor", res.Fitness)
+	}
+}
+
+func TestDecomposeMonotoneError(t *testing.T) {
+	// ALS is a block-coordinate descent: the error must not increase.
+	g := rng.New(3)
+	y, _ := exactCPTensor(g, 10, 9, 7, 4)
+	// add noise so it does not converge instantly
+	for _, s := range y.Slices {
+		s.AddInPlace(mat.Gaussian(g, s.Rows, s.Cols).Scale(0.05))
+	}
+	f := RandomFactors(rng.New(4), y.I, y.J, y.K, 4)
+	prev := ReconstructError2(y, f)
+	for it := 0; it < 20; it++ {
+		UpdateIteration(y, &f)
+		cur := ReconstructError2(y, f)
+		if cur > prev*(1+1e-9) {
+			t.Fatalf("iteration %d increased error: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDecomposeStopsOnTolerance(t *testing.T) {
+	g := rng.New(5)
+	y, _ := exactCPTensor(g, 8, 8, 8, 2)
+	res := Decompose(rng.New(6), y, 2, 500, 1e-8)
+	if res.Iters >= 500 {
+		t.Fatalf("did not converge early: %d iters", res.Iters)
+	}
+}
+
+func TestDecomposeHigherRankFitsBetter(t *testing.T) {
+	g := rng.New(7)
+	y, _ := exactCPTensor(g, 12, 12, 6, 5)
+	for _, s := range y.Slices {
+		s.AddInPlace(mat.Gaussian(g, s.Rows, s.Cols).Scale(0.1))
+	}
+	r2 := Decompose(rng.New(8), y, 2, 60, 1e-10).Fitness
+	r5 := Decompose(rng.New(8), y, 5, 60, 1e-10).Fitness
+	if r5 < r2 {
+		t.Fatalf("rank 5 fitness %v < rank 2 fitness %v", r5, r2)
+	}
+}
+
+func TestReconstructError2Zero(t *testing.T) {
+	g := rng.New(9)
+	y, f := exactCPTensor(g, 6, 5, 4, 2)
+	if e := ReconstructError2(y, f); e > 1e-18*y.Norm2()+1e-12 {
+		t.Fatalf("error on exact factors: %v", e)
+	}
+}
+
+func TestRandomFactorsShapes(t *testing.T) {
+	g := rng.New(10)
+	f := RandomFactors(g, 3, 4, 5, 2)
+	if f.A.Rows != 3 || f.B.Rows != 4 || f.C.Rows != 5 || f.A.Cols != 2 {
+		t.Fatal("RandomFactors shapes wrong")
+	}
+}
+
+func TestNormalizePreservesModel(t *testing.T) {
+	g := rng.New(11)
+	f := RandomFactors(g, 6, 5, 4, 3)
+	before := tensor.CPReconstruct(f.A, f.B, f.C)
+	lambda := f.Normalize()
+	// Reconstruct [[λ; A,B,C]] by folding λ into C.
+	cScaled := f.C.ScaleColumns(lambda)
+	after := tensor.CPReconstruct(f.A, f.B, cScaled)
+	for k := range before.Slices {
+		if !after.Slices[k].EqualApprox(before.Slices[k], 1e-10) {
+			t.Fatal("normalization changed the model")
+		}
+	}
+	// Unit columns.
+	for c := 0; c < 3; c++ {
+		for _, m := range []*mat.Dense{f.A, f.B, f.C} {
+			var n float64
+			for i := 0; i < m.Rows; i++ {
+				n += m.At(i, c) * m.At(i, c)
+			}
+			if d := n - 1; d > 1e-10 || d < -1e-10 {
+				t.Fatalf("column %d norm² %v != 1", c, n)
+			}
+		}
+	}
+}
+
+func TestNormalizeZeroColumn(t *testing.T) {
+	g := rng.New(12)
+	f := RandomFactors(g, 4, 4, 4, 2)
+	for i := 0; i < f.A.Rows; i++ {
+		f.A.Set(i, 1, 0)
+	}
+	lambda := f.Normalize()
+	if lambda[1] != 0 {
+		t.Fatalf("zero component lambda %v", lambda[1])
+	}
+	if lambda[0] <= 0 {
+		t.Fatalf("live component lambda %v", lambda[0])
+	}
+}

@@ -1,0 +1,104 @@
+// Package datagen generates synthetic irregular dense tensors that stand in
+// for the paper's evaluation datasets (Table II), which are either
+// proprietary or too large to ship: stock markets (US Stock, Korea Stock),
+// log-power spectrograms (FMA, Urban), video features (Activity, Action),
+// and traffic measurements (Traffic, PEMS-SF), plus the uniform-random
+// tensors of the scalability study (Tensor Toolbox's tenrand).
+//
+// Each generator reproduces the property of its dataset that drives DPar2's
+// behaviour: the irregularity profile of the slice heights (the long tail of
+// Fig. 8), the dimension regime (J≫R for spectrograms vs J≈88 for stocks),
+// and enough low-rank structure that rank-10 PARAFAC2 reaches the fitness
+// band the paper reports (≈0.7-0.97 depending on dataset).
+package datagen
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// RandomIrregular mirrors tenrand(I, J, K): a K-slice tensor whose slices
+// are I×J with uniform [0,1) entries — every slice the same height, as in
+// the paper's synthetic scalability experiments.
+func RandomIrregular(g *rng.RNG, i, j, k int) *tensor.Irregular {
+	slices := make([]*mat.Dense, k)
+	for kk := 0; kk < k; kk++ {
+		slices[kk] = mat.Uniform(g, i, j, 0, 1)
+	}
+	return tensor.MustIrregular(slices)
+}
+
+// LowRank builds an irregular tensor with exact PARAFAC2 structure of the
+// given rank plus Gaussian noise of the given relative magnitude. rows gives
+// the slice heights I_k.
+func LowRank(g *rng.RNG, rows []int, j, rank int, noise float64) *tensor.Irregular {
+	h := mat.Gaussian(g, rank, rank)
+	v := mat.Gaussian(g, j, rank)
+	slices := make([]*mat.Dense, len(rows))
+	for k, ik := range rows {
+		q := orthonormal(g, ik, rank)
+		s := make([]float64, rank)
+		for i := range s {
+			s[i] = 0.5 + g.Float64()
+		}
+		x := q.Mul(h.ScaleColumns(s)).MulT(v)
+		if noise > 0 {
+			scale := noise * x.FrobNorm() / math.Sqrt(float64(ik*j))
+			x.AddInPlace(mat.Gaussian(g, ik, j).Scale(scale))
+		}
+		slices[k] = x
+	}
+	return tensor.MustIrregular(slices)
+}
+
+// orthonormal draws an ik×r matrix with orthonormal columns via Gram-Schmidt
+// on a Gaussian (avoiding an import cycle with lapack).
+func orthonormal(g *rng.RNG, ik, r int) *mat.Dense {
+	q := mat.Gaussian(g, ik, r)
+	for j := 0; j < r; j++ {
+		col := q.Col(j)
+		for jj := 0; jj < j; jj++ {
+			prev := q.Col(jj)
+			d := mat.Dot(col, prev)
+			for i := range col {
+				col[i] -= d * prev[i]
+			}
+		}
+		// second pass for stability
+		for jj := 0; jj < j; jj++ {
+			prev := q.Col(jj)
+			d := mat.Dot(col, prev)
+			for i := range col {
+				col[i] -= d * prev[i]
+			}
+		}
+		n := mat.Norm2(col)
+		if n == 0 {
+			col[j%ik] = 1
+			n = 1
+		}
+		for i := range col {
+			col[i] /= n
+		}
+		q.SetCol(j, col)
+	}
+	return q
+}
+
+// LongTailRows draws K slice heights from a long-tailed distribution
+// matching the shape of Fig. 8 (few very long listing periods, many short
+// ones): I_k = lo + (hi-lo)·u^5 with u uniform, sorted order irrelevant.
+func LongTailRows(g *rng.RNG, k, lo, hi int) []int {
+	rows := make([]int, k)
+	for i := range rows {
+		u := g.Float64()
+		rows[i] = lo + int(float64(hi-lo)*u*u*u*u*u)
+		if rows[i] < lo {
+			rows[i] = lo
+		}
+	}
+	return rows
+}

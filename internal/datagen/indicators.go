@@ -1,0 +1,211 @@
+package datagen
+
+import "math"
+
+// Technical indicators used to build the 88-feature stock matrices. All
+// operate on daily series and return a series of the same length, carrying
+// the first defined value backwards over the warm-up window (standard
+// practice so the feature matrix stays rectangular).
+
+// SMA is the w-day simple moving average of x.
+func SMA(x []float64, w int) []float64 {
+	out := make([]float64, len(x))
+	var sum float64
+	for i, v := range x {
+		sum += v
+		if i >= w {
+			sum -= x[i-w]
+			out[i] = sum / float64(w)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// EMA is the w-day exponential moving average (α = 2/(w+1)).
+func EMA(x []float64, w int) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	alpha := 2.0 / float64(w+1)
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = alpha*x[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// Momentum is x[t] − x[t−w].
+func Momentum(x []float64, w int) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		if i >= w {
+			out[i] = x[i] - x[i-w]
+		}
+	}
+	return out
+}
+
+// ROC is the w-day rate of change 100·(x[t]/x[t−w] − 1).
+func ROC(x []float64, w int) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		if i >= w && x[i-w] != 0 {
+			out[i] = 100 * (x[i]/x[i-w] - 1)
+		}
+	}
+	return out
+}
+
+// RollingStd is the w-day rolling standard deviation.
+func RollingStd(x []float64, w int) []float64 {
+	out := make([]float64, len(x))
+	var sum, sum2 float64
+	for i, v := range x {
+		sum += v
+		sum2 += v * v
+		n := i + 1
+		if i >= w {
+			sum -= x[i-w]
+			sum2 -= x[i-w] * x[i-w]
+			n = w
+		}
+		mean := sum / float64(n)
+		varr := sum2/float64(n) - mean*mean
+		if varr < 0 {
+			varr = 0
+		}
+		out[i] = math.Sqrt(varr)
+	}
+	return out
+}
+
+// RSI is Wilder's w-day Relative Strength Index (0-100).
+func RSI(close []float64, w int) []float64 {
+	out := make([]float64, len(close))
+	if len(close) == 0 {
+		return out
+	}
+	var avgGain, avgLoss float64
+	out[0] = 50
+	for i := 1; i < len(close); i++ {
+		delta := close[i] - close[i-1]
+		gain, loss := 0.0, 0.0
+		if delta > 0 {
+			gain = delta
+		} else {
+			loss = -delta
+		}
+		if i <= w {
+			avgGain = (avgGain*float64(i-1) + gain) / float64(i)
+			avgLoss = (avgLoss*float64(i-1) + loss) / float64(i)
+		} else {
+			avgGain = (avgGain*float64(w-1) + gain) / float64(w)
+			avgLoss = (avgLoss*float64(w-1) + loss) / float64(w)
+		}
+		if avgLoss == 0 {
+			out[i] = 100
+		} else {
+			rs := avgGain / avgLoss
+			out[i] = 100 - 100/(1+rs)
+		}
+	}
+	return out
+}
+
+// ATR is Wilder's w-day Average True Range: a volatility indicator that
+// rises in turbulent periods (Fig. 12 discussion).
+func ATR(high, low, close []float64, w int) []float64 {
+	n := len(close)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	tr := high[0] - low[0]
+	out[0] = tr
+	for i := 1; i < n; i++ {
+		t1 := high[i] - low[i]
+		t2 := math.Abs(high[i] - close[i-1])
+		t3 := math.Abs(low[i] - close[i-1])
+		tr = math.Max(t1, math.Max(t2, t3))
+		out[i] = (out[i-1]*float64(w-1) + tr) / float64(w)
+	}
+	return out
+}
+
+// Stochastic is George Lane's %K oscillator: the position of the close
+// within the w-day high-low range, in [0, 100].
+func Stochastic(high, low, close []float64, w int) []float64 {
+	n := len(close)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo0 := i - w + 1
+		if lo0 < 0 {
+			lo0 = 0
+		}
+		hh, ll := high[lo0], low[lo0]
+		for t := lo0 + 1; t <= i; t++ {
+			if high[t] > hh {
+				hh = high[t]
+			}
+			if low[t] < ll {
+				ll = low[t]
+			}
+		}
+		if hh == ll {
+			out[i] = 50
+		} else {
+			out[i] = 100 * (close[i] - ll) / (hh - ll)
+		}
+	}
+	return out
+}
+
+// Bollinger returns the w-day Bollinger bands (SMA ± 2·rolling std).
+func Bollinger(close []float64, w int) (upper, lower []float64) {
+	sma := SMA(close, w)
+	sd := RollingStd(close, w)
+	upper = make([]float64, len(close))
+	lower = make([]float64, len(close))
+	for i := range close {
+		upper[i] = sma[i] + 2*sd[i]
+		lower[i] = sma[i] - 2*sd[i]
+	}
+	return upper, lower
+}
+
+// OBV is Granville's On-Balance Volume: cumulative volume signed by the
+// direction of the close-to-close move.
+func OBV(close, volume []float64) []float64 {
+	out := make([]float64, len(close))
+	if len(close) == 0 {
+		return out
+	}
+	out[0] = volume[0]
+	for i := 1; i < len(close); i++ {
+		switch {
+		case close[i] > close[i-1]:
+			out[i] = out[i-1] + volume[i]
+		case close[i] < close[i-1]:
+			out[i] = out[i-1] - volume[i]
+		default:
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// MACD returns Appel's Moving Average Convergence/Divergence (EMA12−EMA26)
+// and its 9-day signal line.
+func MACD(close []float64) (macd, signal []float64) {
+	e12 := EMA(close, 12)
+	e26 := EMA(close, 26)
+	macd = make([]float64, len(close))
+	for i := range macd {
+		macd[i] = e12[i] - e26[i]
+	}
+	signal = EMA(macd, 9)
+	return macd, signal
+}

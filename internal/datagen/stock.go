@@ -1,0 +1,268 @@
+package datagen
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// StockFeatureCount is the number of feature columns the stock generator
+// produces: 5 basic features (open, high, low, close, volume) plus 83
+// technical indicators, matching the J = 88 of the paper's US/Korea stock
+// tensors (Table II).
+const StockFeatureCount = 88
+
+// StockFeatureNames returns the column labels of the stock feature matrix.
+// The first four price features and the named indicators (OBV, ATR, MACD,
+// STOCH) are the ones Fig. 12 and the discovery experiments analyze.
+func StockFeatureNames() []string {
+	names := []string{"OPENING", "HIGHEST", "LOWEST", "CLOSING", "VOLUME"}
+	add := func(prefix string, windows []int) {
+		for _, w := range windows {
+			names = append(names, prefix+itoa(w))
+		}
+	}
+	w12 := []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}
+	add("SMA", w12)
+	add("EMA", w12)
+	add("MOM", w12)
+	add("ROC", w12)
+	add("STD", w12)
+	add("RSI", []int{6, 10, 14, 20, 25, 30})
+	add("ATR", []int{7, 14, 21, 28})
+	add("STOCH", []int{7, 14, 21, 28})
+	add("BOLLU", []int{10, 20, 30})
+	add("BOLLL", []int{10, 20, 30})
+	names = append(names, "OBV", "MACD", "MACDSIG")
+	return names
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// StockMarket configures the market simulator.
+type StockMarket struct {
+	// Drift and Vol are the annualized GBM drift and volatility ranges a
+	// stock's parameters are drawn from.
+	DriftLo, DriftHi float64
+	VolLo, VolHi     float64
+	// MarketBeta couples individual stocks to a shared market factor,
+	// producing the cross-stock correlation structure the discovery
+	// experiments (Table III) look for. 0 disables coupling.
+	MarketBeta float64
+	// Sectors is the number of sector factors; stocks in the same sector
+	// co-move, so k-NN/RWR find sector-mates, as in Table III.
+	Sectors int
+	// VolumeCoupling controls how strongly trading volume tracks price
+	// moves. High coupling reproduces the US-market pattern of Fig. 12(a)
+	// (OBV/ATR correlate with prices); near-zero coupling reproduces the
+	// KR-market pattern of Fig. 12(b).
+	VolumeCoupling float64
+}
+
+// DefaultUSMarket parameterizes a developed, lower-volatility market in
+// which volume tracks price moves (OBV/ATR correlate with prices — the
+// Fig. 12(a) pattern).
+func DefaultUSMarket() StockMarket {
+	return StockMarket{DriftLo: 0.02, DriftHi: 0.15, VolLo: 0.15, VolHi: 0.35, MarketBeta: 0.6, Sectors: 8, VolumeCoupling: 1.0}
+}
+
+// DefaultKRMarket parameterizes a higher-volatility market with
+// volume decoupled from price level (the Fig. 12(b) pattern: OBV/ATR show
+// little correlation with prices).
+func DefaultKRMarket() StockMarket {
+	return StockMarket{DriftLo: -0.05, DriftHi: 0.10, VolLo: 0.25, VolHi: 0.60, MarketBeta: 0.35, Sectors: 8, VolumeCoupling: 0.05}
+}
+
+// Stock holds one simulated stock: its OHLCV series and sector id.
+type Stock struct {
+	Open, High, Low, Close, Volume []float64
+	Sector                         int
+}
+
+// SimulateStock generates days of OHLCV data by geometric Brownian motion
+// with a shared market factor and a sector factor.
+func SimulateStock(g *rng.RNG, days int, m StockMarket, market, sector []float64, sectorID int) Stock {
+	drift := m.DriftLo + (m.DriftHi-m.DriftLo)*g.Float64()
+	vol := m.VolLo + (m.VolHi-m.VolLo)*g.Float64()
+	dt := 1.0 / 252
+	s := Stock{
+		Open:   make([]float64, days),
+		High:   make([]float64, days),
+		Low:    make([]float64, days),
+		Close:  make([]float64, days),
+		Volume: make([]float64, days),
+		Sector: sectorID,
+	}
+	price := 20 + 180*g.Float64()
+	baseVol := math.Exp(10 + 2*g.Norm())
+	for t := 0; t < days; t++ {
+		shock := g.Norm()
+		ret := (drift-0.5*vol*vol)*dt + vol*math.Sqrt(dt)*shock
+		if market != nil {
+			ret += m.MarketBeta * market[t]
+		}
+		if sector != nil {
+			ret += sector[t]
+		}
+		prev := price
+		price *= math.Exp(ret)
+		intraday := vol * math.Sqrt(dt) * (0.5 + g.Float64())
+		s.Open[t] = prev * (1 + 0.3*intraday*g.Norm())
+		hi := math.Max(s.Open[t], price) * (1 + intraday*math.Abs(g.Norm()))
+		lo := math.Min(s.Open[t], price) * (1 - intraday*math.Abs(g.Norm()))
+		s.High[t] = hi
+		s.Low[t] = lo
+		s.Close[t] = price
+		// Coupled markets (Fig. 12(a) pattern): volume scales *linearly*
+		// with |return|, so OBV's signed cumulative sum
+		// Σ sign(Δp)·c·|ret| = c·Σ ret reproduces the log-price path and
+		// OBV correlates strongly with the price features.
+		// Decoupled markets (Fig. 12(b) pattern): volume is heavy-tailed
+		// iid noise, so OBV is dominated by a few huge days whose signs
+		// are unrelated to the price trend.
+		coupled := (0.05 + 60*math.Abs(ret)) * math.Exp(0.15*g.Norm())
+		noise := math.Exp(2.5 * g.Norm())
+		s.Volume[t] = baseVol * (m.VolumeCoupling*coupled + (1-m.VolumeCoupling)*noise)
+	}
+	return s
+}
+
+// FeatureMatrix converts a stock's OHLCV series into the days×88 feature
+// matrix (z-scored per column so features with different scales are
+// comparable, as is standard before tensor decomposition).
+func FeatureMatrix(s Stock) *mat.Dense {
+	days := len(s.Close)
+	cols := make([][]float64, 0, StockFeatureCount)
+	cols = append(cols, s.Open, s.High, s.Low, s.Close, s.Volume)
+
+	w12 := []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}
+	for _, w := range w12 {
+		cols = append(cols, SMA(s.Close, w))
+	}
+	for _, w := range w12 {
+		cols = append(cols, EMA(s.Close, w))
+	}
+	for _, w := range w12 {
+		cols = append(cols, Momentum(s.Close, w))
+	}
+	for _, w := range w12 {
+		cols = append(cols, ROC(s.Close, w))
+	}
+	for _, w := range w12 {
+		cols = append(cols, RollingStd(s.Close, w))
+	}
+	for _, w := range []int{6, 10, 14, 20, 25, 30} {
+		cols = append(cols, RSI(s.Close, w))
+	}
+	for _, w := range []int{7, 14, 21, 28} {
+		cols = append(cols, ATR(s.High, s.Low, s.Close, w))
+	}
+	for _, w := range []int{7, 14, 21, 28} {
+		cols = append(cols, Stochastic(s.High, s.Low, s.Close, w))
+	}
+	for _, w := range []int{10, 20, 30} {
+		u, _ := Bollinger(s.Close, w)
+		cols = append(cols, u)
+	}
+	for _, w := range []int{10, 20, 30} {
+		_, l := Bollinger(s.Close, w)
+		cols = append(cols, l)
+	}
+	cols = append(cols, OBV(s.Close, s.Volume))
+	macd, sig := MACD(s.Close)
+	cols = append(cols, macd, sig)
+
+	m := mat.New(days, len(cols))
+	for j, c := range cols {
+		zscore(c)
+		m.SetCol(j, c)
+	}
+	return m
+}
+
+func zscore(x []float64) {
+	n := float64(len(x))
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	var varsum float64
+	for _, v := range x {
+		d := v - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / n)
+	if sd == 0 {
+		sd = 1
+	}
+	for i := range x {
+		x[i] = (x[i] - mean) / sd
+	}
+}
+
+// StockTensor simulates a whole market: K stocks with listing periods drawn
+// from the long-tailed distribution of Fig. 8, each converted to its
+// days×88 feature matrix. Returns the tensor and the per-stock sector ids.
+func StockTensor(g *rng.RNG, k, minDays, maxDays int, m StockMarket) (*tensor.Irregular, []int) {
+	rows := LongTailRows(g, k, minDays, maxDays)
+	// Shared market and sector factor paths over the longest horizon.
+	horizon := 0
+	for _, r := range rows {
+		if r > horizon {
+			horizon = r
+		}
+	}
+	market := make([]float64, horizon)
+	dt := 1.0 / 252
+	for t := range market {
+		market[t] = 0.10 * math.Sqrt(dt) * g.Norm()
+	}
+	sectors := make([][]float64, m.Sectors)
+	for i := range sectors {
+		sectors[i] = make([]float64, horizon)
+		for t := range sectors[i] {
+			// Sector shocks comparable to idiosyncratic volatility, so
+			// sector-mates co-move strongly enough for the Table III
+			// rankings to recover sector membership.
+			sectors[i][t] = 0.45 * math.Sqrt(dt) * g.Norm()
+		}
+	}
+
+	slices := make([]*mat.Dense, k)
+	sectorIDs := make([]int, k)
+	for kk := 0; kk < k; kk++ {
+		sec := 0
+		if m.Sectors > 0 {
+			sec = g.Intn(m.Sectors)
+		}
+		sectorIDs[kk] = sec
+		days := rows[kk]
+		var sf []float64
+		if m.Sectors > 0 {
+			// Align histories on the calendar: every stock's series ends
+			// "today", so a stock listed for `days` days experienced the
+			// *last* `days` entries of the shared factor paths. This is
+			// what makes trailing-window U_k comparisons (Table III)
+			// meaningful across stocks with different listing periods.
+			sf = sectors[sec][horizon-days:]
+		}
+		st := SimulateStock(g, days, m, market[horizon-days:], sf, sec)
+		slices[kk] = FeatureMatrix(st)
+	}
+	return tensor.MustIrregular(slices), sectorIDs
+}

@@ -1,0 +1,321 @@
+// Package dataio persists irregular tensors and PARAFAC2 factorizations.
+//
+// The binary format is a small custom container (magic + version + shape
+// table + little-endian float64 payload) rather than encoding/gob: tensors
+// are large, flat float64 arrays, and a fixed layout reads and writes at
+// memory bandwidth, stays stable across Go versions, and is easy to parse
+// from other languages.
+//
+// Layout (all integers little-endian uint64, all floats IEEE-754 binary64):
+//
+//	"DPT2" | version | K | J | I_1..I_K | slice_1 .. slice_K   (tensor)
+//	"DPF2" | version | K | J | R | I_1..I_K |
+//	       H (R·R) | V (J·R) | S (K·R) | Q_1..Q_K (I_k·R each) (result)
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/mat"
+	"repro/internal/parafac2"
+	"repro/internal/tensor"
+)
+
+const (
+	tensorMagic = "DPT2"
+	resultMagic = "DPF2"
+	version     = 1
+	// maxDim guards against corrupt headers allocating absurd buffers.
+	maxDim = 1 << 32
+)
+
+// WriteTensor serializes t to w.
+func WriteTensor(w io.Writer, t *tensor.Irregular) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(tensorMagic); err != nil {
+		return err
+	}
+	header := []uint64{version, uint64(t.K()), uint64(t.J)}
+	for _, s := range t.Slices {
+		header = append(header, uint64(s.Rows))
+	}
+	if err := writeUints(bw, header); err != nil {
+		return err
+	}
+	for _, s := range t.Slices {
+		if err := writeFloats(bw, s.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTensor deserializes a tensor written by WriteTensor.
+func ReadTensor(r io.Reader) (*tensor.Irregular, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if err := expectMagic(br, tensorMagic); err != nil {
+		return nil, err
+	}
+	head, err := readUints(br, 3)
+	if err != nil {
+		return nil, err
+	}
+	if head[0] != version {
+		return nil, fmt.Errorf("dataio: unsupported version %d", head[0])
+	}
+	k, j := head[1], head[2]
+	if k == 0 || j == 0 || k > maxDim || j > maxDim {
+		return nil, fmt.Errorf("dataio: corrupt header (K=%d, J=%d)", k, j)
+	}
+	rows, err := readUints(br, int(k))
+	if err != nil {
+		return nil, err
+	}
+	slices := make([]*mat.Dense, k)
+	for i := range slices {
+		ik := rows[i]
+		if ik == 0 || ik > maxDim {
+			return nil, fmt.Errorf("dataio: corrupt slice height %d", ik)
+		}
+		m := mat.New(int(ik), int(j))
+		if err := readFloats(br, m.Data); err != nil {
+			return nil, err
+		}
+		slices[i] = m
+	}
+	return tensor.NewIrregular(slices)
+}
+
+// SaveTensor writes t to the named file.
+func SaveTensor(path string, t *tensor.Irregular) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTensor(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTensor reads a tensor from the named file.
+func LoadTensor(path string) (*tensor.Irregular, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTensor(f)
+}
+
+// WriteResult serializes the factor matrices of a decomposition.
+func WriteResult(w io.Writer, res *parafac2.Result) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(resultMagic); err != nil {
+		return err
+	}
+	k := len(res.Q)
+	r := res.H.Rows
+	j := res.V.Rows
+	header := []uint64{version, uint64(k), uint64(j), uint64(r)}
+	for _, q := range res.Q {
+		header = append(header, uint64(q.Rows))
+	}
+	if err := writeUints(bw, header); err != nil {
+		return err
+	}
+	if err := writeFloats(bw, res.H.Data); err != nil {
+		return err
+	}
+	if err := writeFloats(bw, res.V.Data); err != nil {
+		return err
+	}
+	for _, s := range res.S {
+		if err := writeFloats(bw, s); err != nil {
+			return err
+		}
+	}
+	for _, q := range res.Q {
+		if err := writeFloats(bw, q.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadResult deserializes factor matrices written by WriteResult. Only the
+// factors are restored (timings and fitness are run artifacts, not state).
+func ReadResult(r io.Reader) (*parafac2.Result, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if err := expectMagic(br, resultMagic); err != nil {
+		return nil, err
+	}
+	head, err := readUints(br, 4)
+	if err != nil {
+		return nil, err
+	}
+	if head[0] != version {
+		return nil, fmt.Errorf("dataio: unsupported version %d", head[0])
+	}
+	k, j, rank := head[1], head[2], head[3]
+	if k == 0 || j == 0 || rank == 0 || k > maxDim || j > maxDim || rank > maxDim {
+		return nil, fmt.Errorf("dataio: corrupt result header")
+	}
+	rows, err := readUints(br, int(k))
+	if err != nil {
+		return nil, err
+	}
+	res := &parafac2.Result{
+		H: mat.New(int(rank), int(rank)),
+		V: mat.New(int(j), int(rank)),
+	}
+	if err := readFloats(br, res.H.Data); err != nil {
+		return nil, err
+	}
+	if err := readFloats(br, res.V.Data); err != nil {
+		return nil, err
+	}
+	res.S = make([][]float64, k)
+	for i := range res.S {
+		res.S[i] = make([]float64, rank)
+		if err := readFloats(br, res.S[i]); err != nil {
+			return nil, err
+		}
+	}
+	res.Q = make([]*mat.Dense, k)
+	for i := range res.Q {
+		if rows[i] == 0 || rows[i] > maxDim {
+			return nil, fmt.Errorf("dataio: corrupt Q height %d", rows[i])
+		}
+		res.Q[i] = mat.New(int(rows[i]), int(rank))
+		if err := readFloats(br, res.Q[i].Data); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// SaveResult writes the factorization to the named file.
+func SaveResult(path string, res *parafac2.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteResult(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResult reads a factorization from the named file.
+func LoadResult(path string) (*parafac2.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResult(f)
+}
+
+// WriteMatrixCSV writes m as comma-separated rows — the interchange format
+// cmd/dpar2 accepts back via -input.
+func WriteMatrixCSV(w io.Writer, m *mat.Dense) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for jj, v := range row {
+			if jj > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.17g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// --- low-level helpers -----------------------------------------------------
+
+func expectMagic(r io.Reader, magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("dataio: short read on magic: %w", err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("dataio: bad magic %q (want %q)", buf, magic)
+	}
+	return nil
+}
+
+func writeUints(w io.Writer, vals []uint64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readUints(r io.Reader, n int) ([]uint64, error) {
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dataio: short read: %w", err)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return out, nil
+}
+
+const floatChunk = 1 << 16
+
+func writeFloats(w io.Writer, vals []float64) error {
+	buf := make([]byte, 8*min(len(vals), floatChunk))
+	for off := 0; off < len(vals); off += floatChunk {
+		end := min(off+floatChunk, len(vals))
+		n := end - off
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(vals[off+i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, 8*min(len(dst), floatChunk))
+	for off := 0; off < len(dst); off += floatChunk {
+		end := min(off+floatChunk, len(dst))
+		n := end - off
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return fmt.Errorf("dataio: short read: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the DPar2
+// paper's evaluation (Section IV) on synthetic stand-in datasets. Each
+// runner returns structured rows so callers (cmd/experiments, benchmarks,
+// tests) can inspect or print them.
+//
+// The stand-ins are scaled-down versions of Table II sized to run on a
+// laptop-class machine in seconds-to-minutes; the *shape* of the paper's
+// results (who wins, roughly by how much, where the crossovers are) is the
+// reproduction target, not absolute wall-clock numbers.
+package experiments
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dataset is one evaluation dataset: a generated irregular tensor plus the
+// Table II metadata it mirrors.
+type Dataset struct {
+	Name    string
+	Summary string
+	Tensor  *tensor.Irregular
+	// PaperMaxI, PaperJ, PaperK are the real dataset's dimensions from
+	// Table II, recorded for the report.
+	PaperMaxI, PaperJ, PaperK int
+	// Sectors is set for stock datasets (used by Table III).
+	Sectors []int
+}
+
+// Scale selects how large the generated stand-ins are.
+type Scale int
+
+const (
+	// ScaleTest is small enough for unit tests (sub-second per method).
+	ScaleTest Scale = iota
+	// ScaleBench is the default for the experiment harness.
+	ScaleBench
+)
+
+// LoadAll generates the eight evaluation datasets of Table II.
+func LoadAll(seed uint64, sc Scale) []Dataset {
+	g := rng.New(seed)
+	type dims struct{ k, loI, hiI, j int }
+	var fma, urban, us, kr, activity, action, traffic, pems dims
+	switch sc {
+	case ScaleTest:
+		fma = dims{8, 30, 70, 64}
+		urban = dims{8, 20, 50, 64}
+		us = dims{10, 60, 200, 88}
+		kr = dims{8, 50, 150, 88}
+		activity = dims{6, 30, 80, 40}
+		action = dims{6, 30, 90, 40}
+		traffic = dims{8, 40, 0, 32}
+		pems = dims{8, 30, 0, 48}
+	default: // ScaleBench
+		fma = dims{60, 80, 220, 256}
+		urban = dims{60, 40, 120, 256}
+		us = dims{80, 100, 900, 88}
+		kr = dims{60, 80, 650, 88}
+		activity = dims{32, 80, 250, 120}
+		action = dims{40, 90, 320, 120}
+		traffic = dims{60, 160, 0, 96}
+		pems = dims{44, 96, 0, 144}
+	}
+
+	usTen, usSectors := datagen.StockTensor(g.Split(), us.k, us.loI, us.hiI, datagen.DefaultUSMarket())
+	krTen, krSectors := datagen.StockTensor(g.Split(), kr.k, kr.loI, kr.hiI, datagen.DefaultKRMarket())
+
+	return []Dataset{
+		{
+			Name: "FMA", Summary: "music (time, frequency, song)",
+			Tensor:    datagen.SpectrogramTensor(g.Split(), fma.k, fma.loI, fma.hiI, fma.j),
+			PaperMaxI: 704, PaperJ: 2049, PaperK: 7997,
+		},
+		{
+			Name: "Urban", Summary: "urban sound (time, frequency, sound)",
+			Tensor:    datagen.SpectrogramTensor(g.Split(), urban.k, urban.loI, urban.hiI, urban.j),
+			PaperMaxI: 174, PaperJ: 2049, PaperK: 8455,
+		},
+		{
+			Name: "US Stock", Summary: "stock (date, feature, stock)",
+			Tensor:    usTen,
+			PaperMaxI: 7883, PaperJ: 88, PaperK: 4742,
+			Sectors: usSectors,
+		},
+		{
+			Name: "KR Stock", Summary: "stock (date, feature, stock)",
+			Tensor:    krTen,
+			PaperMaxI: 5270, PaperJ: 88, PaperK: 3664,
+			Sectors: krSectors,
+		},
+		{
+			Name: "Activity", Summary: "video feature (frame, feature, video)",
+			Tensor:    datagen.VideoFeatureTensor(g.Split(), activity.k, activity.loI, activity.hiI, activity.j, 5),
+			PaperMaxI: 553, PaperJ: 570, PaperK: 320,
+		},
+		{
+			Name: "Action", Summary: "video feature (frame, feature, video)",
+			Tensor:    datagen.VideoFeatureTensor(g.Split(), action.k, action.loI, action.hiI, action.j, 8),
+			PaperMaxI: 936, PaperJ: 570, PaperK: 567,
+		},
+		{
+			Name: "Traffic", Summary: "traffic (sensor, frequency, time)",
+			Tensor:    datagen.TrafficTensor(g.Split(), traffic.k, traffic.loI, traffic.j),
+			PaperMaxI: 2033, PaperJ: 96, PaperK: 1084,
+		},
+		{
+			Name: "PEMS-SF", Summary: "traffic (station, timestamp, day)",
+			Tensor:    datagen.TrafficTensor(g.Split(), pems.k, pems.loI, pems.j),
+			PaperMaxI: 963, PaperJ: 144, PaperK: 440,
+		},
+	}
+}
+
+// Load returns the named dataset (case-sensitive, as printed by Table II).
+func Load(seed uint64, sc Scale, name string) (Dataset, bool) {
+	for _, d := range LoadAll(seed, sc) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

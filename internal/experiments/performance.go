@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parafac2"
+	"repro/internal/tensor"
+)
+
+// Method pairs a method name with its runner, in the order the paper's
+// legends use.
+type Method struct {
+	Name string
+	Run  func(*tensor.Irregular, parafac2.Config) (*parafac2.Result, error)
+}
+
+// Methods returns the four compared decomposers.
+func Methods() []Method {
+	return []Method{
+		{"DPar2", parafac2.DPar2},
+		{"RD-ALS", parafac2.RDALS},
+		{"PARAFAC2-ALS", parafac2.ALS},
+		{"SPARTan", parafac2.SPARTan},
+	}
+}
+
+// MethodResult is one (dataset, method, rank) measurement.
+type MethodResult struct {
+	Dataset string
+	Method  string
+	Rank    int
+
+	TotalTime      time.Duration
+	PreprocessTime time.Duration
+	IterTime       time.Duration
+	TimePerIter    time.Duration
+	Iters          int
+	Fitness        float64
+
+	InputBytes        int64
+	PreprocessedBytes int64
+}
+
+func runOne(d Dataset, m Method, cfg parafac2.Config) (MethodResult, error) {
+	res, err := m.Run(d.Tensor, cfg)
+	if err != nil {
+		return MethodResult{}, fmt.Errorf("%s on %s: %w", m.Name, d.Name, err)
+	}
+	perIter := time.Duration(0)
+	if res.Iters > 0 {
+		perIter = res.IterTime / time.Duration(res.Iters)
+	}
+	return MethodResult{
+		Dataset:           d.Name,
+		Method:            m.Name,
+		Rank:              cfg.Rank,
+		TotalTime:         res.TotalTime,
+		PreprocessTime:    res.PreprocessTime,
+		IterTime:          res.IterTime,
+		TimePerIter:       perIter,
+		Iters:             res.Iters,
+		Fitness:           res.Fitness,
+		InputBytes:        d.Tensor.SizeBytes(),
+		PreprocessedBytes: res.PreprocessedBytes,
+	}, nil
+}
+
+// Fig1 measures the running time vs fitness trade-off of all methods on all
+// datasets for the given target ranks (the paper uses 10, 15, 20).
+func Fig1(datasets []Dataset, ranks []int, base parafac2.Config) ([]MethodResult, error) {
+	var out []MethodResult
+	for _, d := range datasets {
+		for _, r := range ranks {
+			cfg := base
+			cfg.Rank = r
+			for _, m := range Methods() {
+				mr, err := runOne(d, m, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, mr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig1Table renders Fig. 1 measurements as a table.
+func Fig1Table(results []MethodResult) *Table {
+	t := &Table{
+		Title:  "Fig. 1: total running time vs fitness (per dataset, per rank)",
+		Header: []string{"dataset", "rank", "method", "total", "fitness", "iters"},
+		Notes: []string{
+			"paper's claim: DPar2 gives the best trade-off, up to 6.0x faster at comparable fitness",
+		},
+	}
+	for _, r := range results {
+		t.AddRow(r.Dataset, fmt.Sprintf("%d", r.Rank), r.Method,
+			secs(r.TotalTime.Seconds()), f4(r.Fitness), fmt.Sprintf("%d", r.Iters))
+	}
+	return t
+}
+
+// Fig9 measures preprocessing time (DPar2 vs RD-ALS, Fig. 9a) and time per
+// iteration of every method (Fig. 9b) at the base rank.
+func Fig9(datasets []Dataset, base parafac2.Config) ([]MethodResult, error) {
+	var out []MethodResult
+	for _, d := range datasets {
+		for _, m := range Methods() {
+			mr, err := runOne(d, m, base)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, mr)
+		}
+	}
+	return out, nil
+}
+
+// Fig9aTable renders preprocessing times (methods without a preprocessing
+// phase are shown as n/a, as in the paper).
+func Fig9aTable(results []MethodResult) *Table {
+	t := &Table{
+		Title:  "Fig. 9(a): preprocessing time",
+		Header: []string{"dataset", "DPar2", "RD-ALS", "speedup"},
+		Notes:  []string{"paper: DPar2 preprocesses up to 10.0x faster than RD-ALS"},
+	}
+	byDS := groupByDataset(results)
+	for _, ds := range datasetOrder(results) {
+		g := byDS[ds]
+		dp := g["DPar2"].PreprocessTime.Seconds()
+		rd := g["RD-ALS"].PreprocessTime.Seconds()
+		speed := "-"
+		if dp > 0 {
+			speed = fmt.Sprintf("%.1fx", rd/dp)
+		}
+		t.AddRow(ds, secs(dp), secs(rd), speed)
+	}
+	return t
+}
+
+// Fig9bTable renders per-iteration times of all methods.
+func Fig9bTable(results []MethodResult) *Table {
+	t := &Table{
+		Title:  "Fig. 9(b): time per iteration",
+		Header: []string{"dataset", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"},
+		Notes:  []string{"paper: DPar2 iterates up to 10.3x faster than the second best"},
+	}
+	byDS := groupByDataset(results)
+	for _, ds := range datasetOrder(results) {
+		g := byDS[ds]
+		dp := g["DPar2"].TimePerIter.Seconds() * 1000
+		rd := g["RD-ALS"].TimePerIter.Seconds() * 1000
+		als := g["PARAFAC2-ALS"].TimePerIter.Seconds() * 1000
+		sp := g["SPARTan"].TimePerIter.Seconds() * 1000
+		other := rd
+		if als < other {
+			other = als
+		}
+		if sp < other {
+			other = sp
+		}
+		speed := "-"
+		if dp > 0 {
+			speed = fmt.Sprintf("%.1fx", other/dp)
+		}
+		t.AddRow(ds, ms(dp), ms(rd), ms(als), ms(sp), speed)
+	}
+	return t
+}
+
+// Fig10Table renders the preprocessed-data footprint versus input size
+// (PARAFAC2-ALS and SPARTan iterate on the raw input, as in the paper).
+func Fig10Table(results []MethodResult) *Table {
+	t := &Table{
+		Title:  "Fig. 10: size of preprocessed data",
+		Header: []string{"dataset", "input", "DPar2", "RD-ALS", "input/DPar2"},
+		Notes:  []string{"paper: DPar2's preprocessed data is up to 201x smaller than the input"},
+	}
+	byDS := groupByDataset(results)
+	for _, ds := range datasetOrder(results) {
+		g := byDS[ds]
+		in := g["DPar2"].InputBytes
+		dp := g["DPar2"].PreprocessedBytes
+		rd := g["RD-ALS"].PreprocessedBytes
+		ratio := "-"
+		if dp > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(in)/float64(dp))
+		}
+		t.AddRow(ds, mb(in), mb(dp), mb(rd), ratio)
+	}
+	return t
+}
+
+func groupByDataset(results []MethodResult) map[string]map[string]MethodResult {
+	out := map[string]map[string]MethodResult{}
+	for _, r := range results {
+		if out[r.Dataset] == nil {
+			out[r.Dataset] = map[string]MethodResult{}
+		}
+		out[r.Dataset][r.Method] = r
+	}
+	return out
+}
+
+func datasetOrder(results []MethodResult) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Dataset] {
+			seen[r.Dataset] = true
+			order = append(order, r.Dataset)
+		}
+	}
+	return order
+}
+
+// TableII summarizes the generated datasets next to the paper's dimensions.
+func TableII(datasets []Dataset) *Table {
+	t := &Table{
+		Title:  "Table II: datasets (generated stand-in vs paper)",
+		Header: []string{"dataset", "max I_k", "J", "K", "paper max I_k", "paper J", "paper K", "summary"},
+	}
+	for _, d := range datasets {
+		t.AddRow(d.Name,
+			fmt.Sprintf("%d", d.Tensor.MaxRows()),
+			fmt.Sprintf("%d", d.Tensor.J),
+			fmt.Sprintf("%d", d.Tensor.K()),
+			fmt.Sprintf("%d", d.PaperMaxI),
+			fmt.Sprintf("%d", d.PaperJ),
+			fmt.Sprintf("%d", d.PaperK),
+			d.Summary)
+	}
+	return t
+}

@@ -1,0 +1,241 @@
+package lapack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// SVD holds a thin singular value decomposition A = U diag(S) Vᵀ with
+// U m-by-r, S descending, V n-by-r where r = min(m, n) (or the truncation
+// rank for truncated variants).
+type SVD struct {
+	U *mat.Dense
+	S []float64
+	V *mat.Dense
+}
+
+// jacobiSweepTol is the relative off-diagonal tolerance for one-sided Jacobi.
+const jacobiSweepTol = 1e-12
+
+// maxJacobiSweeps bounds iteration; Jacobi converges quadratically, so 30 is
+// far more than needed for float64.
+const maxJacobiSweeps = 30
+
+// Factor computes the thin SVD of a. It does not modify a.
+//
+// Strategy: one-sided Jacobi orthogonalizes the columns of a working copy W,
+// accumulating the rotations into V; on convergence the column norms of W are
+// the singular values and the normalized columns form U. For tall matrices
+// (m > n) a QR pre-reduction shrinks the Jacobi problem to n-by-n; for wide
+// matrices we factor the transpose and swap U and V.
+func Factor(a *mat.Dense) SVD {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		s := Factor(a.T())
+		return SVD{U: s.V, S: s.S, V: s.U}
+	}
+	if m > n*2 || m > n+32 {
+		// Tall: A = Q R, SVD(R) = Ur S Vᵀ, so A = (Q Ur) S Vᵀ.
+		qr := QRFactor(a)
+		inner := jacobiSVD(qr.R)
+		return SVD{U: qr.Q.Mul(inner.U), S: inner.S, V: inner.V}
+	}
+	return jacobiSVD(a)
+}
+
+// jacobiSVD runs one-sided Jacobi on a (m >= n required by callers).
+func jacobiSVD(a *mat.Dense) SVD {
+	m, n := a.Rows, a.Cols
+	// Work column-major: w[j] is column j of the evolving matrix.
+	w := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		w[j] = a.Col(j)
+	}
+	v := mat.Identity(n)
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		vcols[j] = v.Col(j)
+	}
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := mat.Dot(w[p], w[p])
+				beta := mat.Dot(w[q], w[q])
+				gamma := mat.Dot(w[p], w[q])
+				// Standard one-sided Jacobi convergence criterion:
+				// skip the rotation when the columns are already
+				// numerically orthogonal relative to their norms.
+				if math.Abs(gamma) <= jacobiSweepTol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				wp, wq := w[p], w[q]
+				for i := 0; i < m; i++ {
+					tp := wp[i]
+					wp[i] = c*tp - s*wq[i]
+					wq[i] = s*tp + c*wq[i]
+				}
+				vp, vq := vcols[p], vcols[q]
+				for i := 0; i < n; i++ {
+					tp := vp[i]
+					vp[i] = c*tp - s*vq[i]
+					vq[i] = s*tp + c*vq[i]
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Singular values = column norms; U = normalized columns.
+	type col struct {
+		sigma float64
+		idx   int
+	}
+	cols := make([]col, n)
+	for j := 0; j < n; j++ {
+		cols[j] = col{sigma: mat.Norm2(w[j]), idx: j}
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].sigma > cols[j].sigma })
+
+	u := mat.New(m, n)
+	vout := mat.New(n, n)
+	s := make([]float64, n)
+	tiny := 0.0
+	if len(cols) > 0 {
+		tiny = cols[0].sigma * 1e-14
+	}
+	var deficient []int
+	for jOut, c := range cols {
+		s[jOut] = c.sigma
+		src := w[c.idx]
+		if c.sigma > tiny && c.sigma > 0 {
+			inv := 1 / c.sigma
+			for i := 0; i < m; i++ {
+				u.Set(i, jOut, src[i]*inv)
+			}
+		} else {
+			deficient = append(deficient, jOut)
+		}
+		vc := vcols[c.idx]
+		for i := 0; i < n; i++ {
+			vout.Set(i, jOut, vc[i])
+		}
+	}
+	// Complete zero columns of U to an orthonormal set so UᵀU = I holds
+	// even for rank-deficient input (the thin-SVD contract our callers,
+	// in particular the Qk update of PARAFAC2, rely on).
+	completeOrthonormal(u, deficient)
+	return SVD{U: u, S: s, V: vout}
+}
+
+// completeOrthonormal fills the listed (currently zero) columns of u with
+// unit vectors orthogonal to every other column, via Gram-Schmidt against
+// the canonical basis.
+func completeOrthonormal(u *mat.Dense, cols []int) {
+	if len(cols) == 0 {
+		return
+	}
+	m := u.Rows
+	next := 0 // next canonical basis vector to try
+	for _, j := range cols {
+		for ; next < m; next++ {
+			// candidate e_next, orthogonalized against all columns
+			v := make([]float64, m)
+			v[next] = 1
+			for c := 0; c < u.Cols; c++ {
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += v[i] * u.At(i, c)
+				}
+				if dot != 0 {
+					for i := 0; i < m; i++ {
+						v[i] -= dot * u.At(i, c)
+					}
+				}
+			}
+			// Second orthogonalization pass for numerical safety.
+			for c := 0; c < u.Cols; c++ {
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += v[i] * u.At(i, c)
+				}
+				if dot != 0 {
+					for i := 0; i < m; i++ {
+						v[i] -= dot * u.At(i, c)
+					}
+				}
+			}
+			norm := mat.Norm2(v)
+			if norm > 0.5 {
+				inv := 1 / norm
+				for i := 0; i < m; i++ {
+					u.Set(i, j, v[i]*inv)
+				}
+				next++
+				break
+			}
+		}
+	}
+}
+
+// Truncated computes the rank-r truncated SVD of a (keeps the r largest
+// singular triplets). If r >= min(m,n) it is the full thin SVD.
+func Truncated(a *mat.Dense, r int) SVD {
+	full := Factor(a)
+	k := len(full.S)
+	if r >= k {
+		return full
+	}
+	return SVD{
+		U: full.U.SubMatrix(0, 0, full.U.Rows, r),
+		S: append([]float64(nil), full.S[:r]...),
+		V: full.V.SubMatrix(0, 0, full.V.Rows, r),
+	}
+}
+
+// Reconstruct returns U diag(S) Vᵀ.
+func (d SVD) Reconstruct() *mat.Dense {
+	return d.U.ScaleColumns(d.S).MulT(d.V)
+}
+
+// PInv returns the Moore-Penrose pseudoinverse of a, computed via the SVD
+// with singular values below rcond·σ₁ treated as zero.
+func PInv(a *mat.Dense) *mat.Dense {
+	const rcond = 1e-12
+	d := Factor(a)
+	cutoff := 0.0
+	if len(d.S) > 0 {
+		cutoff = rcond * d.S[0]
+	}
+	inv := make([]float64, len(d.S))
+	for i, s := range d.S {
+		if s > cutoff {
+			inv[i] = 1 / s
+		}
+	}
+	// A⁺ = V diag(1/s) Uᵀ
+	return d.V.ScaleColumns(inv).MulT(d.U)
+}
+
+// SolveSPD solves the small linear system G X = B for X where G is symmetric
+// positive semi-definite (the Gram matrices of ALS updates), falling back to
+// the pseudoinverse when G is singular. Used as B · (G)⁺ by callers that
+// right-multiply.
+func SolveSPD(g, b *mat.Dense) *mat.Dense {
+	return PInv(g).Mul(b)
+}

@@ -1,0 +1,226 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// maxProcs bounds the goroutine fan-out of the multiply kernels.
+// Exposed as a variable so benchmarks can pin it.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// SetParallelism overrides the number of goroutines the multiply kernels may
+// use. n <= 0 restores the default (GOMAXPROCS).
+func SetParallelism(n int) {
+	if n <= 0 {
+		maxProcs = runtime.GOMAXPROCS(0)
+		return
+	}
+	maxProcs = n
+}
+
+// Parallelism reports the current kernel fan-out.
+func Parallelism() int { return maxProcs }
+
+// parallelRows runs f over row ranges [lo, hi) split across workers.
+func parallelRows(rows int, f func(lo, hi int)) {
+	workers := maxProcs
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows < 64 {
+		f(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Mul returns m * b. Panics on inner-dimension mismatch.
+//
+// The kernel is the classic i-k-j ordering: for each row of m it streams rows
+// of b, accumulating into the output row. This keeps all three access
+// patterns sequential and is within a small factor of blocked BLAS for the
+// sizes PARAFAC2 works with.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	out := New(m.Rows, b.Cols)
+	n := b.Cols
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*n : (i+1)*n]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TMul returns mᵀ * b without materializing the transpose.
+func (m *Dense) TMul(b *Dense) *Dense {
+	if m.Rows != b.Rows {
+		panic("mat: TMul dimension mismatch")
+	}
+	out := New(m.Cols, b.Cols)
+	n := b.Cols
+	// Accumulate per-worker partial results over row blocks of the shared
+	// inner dimension, then reduce. This keeps both inputs streaming.
+	workers := maxProcs
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers <= 1 || m.Rows < 128 {
+		for k := 0; k < m.Rows; k++ {
+			arow := m.Data[k*m.Cols : (k+1)*m.Cols]
+			brow := b.Data[k*n : (k+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	partials := make([]*Dense, workers)
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := New(m.Cols, n)
+			for k := lo; k < hi; k++ {
+				arow := m.Data[k*m.Cols : (k+1)*m.Cols]
+				brow := b.Data[k*n : (k+1)*n]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					prow := p.Data[i*n : (i+1)*n]
+					for j, bv := range brow {
+						prow[j] += av * bv
+					}
+				}
+			}
+			partials[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p != nil {
+			out.AddInPlace(p)
+		}
+	}
+	return out
+}
+
+// MulT returns m * bᵀ without materializing the transpose.
+func (m *Dense) MulT(b *Dense) *Dense {
+	if m.Cols != b.Cols {
+		panic("mat: MulT dimension mismatch")
+	}
+	out := New(m.Rows, b.Rows)
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var sum float64
+				for k, av := range arow {
+					sum += av * brow[k]
+				}
+				orow[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// MulVec returns m * x as a new vector.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for k, v := range row {
+			sum += v * x[k]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// TMulVec returns mᵀ * x.
+func (m *Dense) TMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("mat: TMulVec dimension mismatch")
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k, v := range row {
+			out[k] += v * xi
+		}
+	}
+	return out
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var sum float64
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}

@@ -1,0 +1,120 @@
+package mat
+
+import "repro/internal/rng"
+
+// Kronecker returns A ⊗ B, the (Ra*Rb)-by-(Ca*Cb) Kronecker product.
+func Kronecker(a, b *Dense) *Dense {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for ia := 0; ia < a.Rows; ia++ {
+		arow := a.Row(ia)
+		for ib := 0; ib < b.Rows; ib++ {
+			brow := b.Row(ib)
+			orow := out.Row(ia*b.Rows + ib)
+			for ja, av := range arow {
+				if av == 0 {
+					continue
+				}
+				off := ja * b.Cols
+				for jb, bv := range brow {
+					orow[off+jb] = av * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRao returns A ⊙ B, the column-wise Khatri-Rao product. A and B must
+// have the same number of columns; the result is (Ra*Rb)-by-C with column r
+// equal to A(:,r) ⊗ B(:,r).
+func KhatriRao(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic("mat: KhatriRao column mismatch")
+	}
+	c := a.Cols
+	out := New(a.Rows*b.Rows, c)
+	for ia := 0; ia < a.Rows; ia++ {
+		arow := a.Row(ia)
+		for ib := 0; ib < b.Rows; ib++ {
+			brow := b.Row(ib)
+			orow := out.Row(ia*b.Rows + ib)
+			for r := 0; r < c; r++ {
+				orow[r] = arow[r] * brow[r]
+			}
+		}
+	}
+	return out
+}
+
+// KronVec returns (x ⊗ y) for vectors.
+func KronVec(x, y []float64) []float64 {
+	out := make([]float64, len(x)*len(y))
+	for i, xv := range x {
+		off := i * len(y)
+		for j, yv := range y {
+			out[off+j] = xv * yv
+		}
+	}
+	return out
+}
+
+// HConcat horizontally concatenates the given matrices (same row count).
+func HConcat(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("mat: HConcat of nothing")
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("mat: HConcat row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+m.Cols], m.Row(i))
+		}
+		off += m.Cols
+	}
+	return out
+}
+
+// VConcat vertically concatenates the given matrices (same column count).
+func VConcat(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		panic("mat: VConcat of nothing")
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("mat: VConcat column mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off*cols:(off+m.Rows)*cols], m.Data)
+		off += m.Rows
+	}
+	return out
+}
+
+// Gaussian returns an r-by-c matrix of independent standard normals drawn
+// from g.
+func Gaussian(g *rng.RNG, r, c int) *Dense {
+	m := New(r, c)
+	g.NormSlice(m.Data)
+	return m
+}
+
+// Uniform returns an r-by-c matrix of uniforms in [lo, hi).
+func Uniform(g *rng.RNG, r, c int, lo, hi float64) *Dense {
+	m := New(r, c)
+	g.UniformSlice(m.Data, lo, hi)
+	return m
+}

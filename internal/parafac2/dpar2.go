@@ -1,0 +1,317 @@
+package parafac2
+
+import (
+	"time"
+
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/rsvd"
+	"repro/internal/scheduler"
+	"repro/internal/tensor"
+)
+
+// Compressed holds the two-stage compression of an irregular tensor
+// (Section III-B): X_k ≈ A_k F⁽ᵏ⁾ E Dᵀ where
+//
+//	stage 1:  X_k ≈ A_k B_k C_kᵀ                (randomized SVD per slice)
+//	stage 2:  M = ‖_k (C_k B_k) ≈ D E Fᵀ        (randomized SVD of J×KR)
+//
+// A_k keeps its column-orthogonality, which is what lets the Q_k update run
+// on R×R matrices (Section III-D).
+type Compressed struct {
+	A []*mat.Dense // A_k: I_k × R, column orthonormal
+	D *mat.Dense   // J × R, column orthonormal
+	E []float64    // diagonal of E (R singular values of M)
+	F []*mat.Dense // F⁽ᵏ⁾: R × R vertical blocks of F ∈ R^{KR×R}
+
+	J    int
+	Rank int
+}
+
+// SizeBytes reports the footprint of the preprocessed data
+// (Theorem 2: O(Σ I_k R + K R² + J R)).
+func (c *Compressed) SizeBytes() int64 {
+	var n int64
+	for _, a := range c.A {
+		n += int64(a.Rows * a.Cols)
+	}
+	n += int64(c.D.Rows * c.D.Cols)
+	n += int64(len(c.E))
+	for _, f := range c.F {
+		n += int64(f.Rows * f.Cols)
+	}
+	return n * 8
+}
+
+// SliceApprox materializes X̃_k = A_k F⁽ᵏ⁾ E Dᵀ (Equation 6) — used by tests
+// and the convergence identity, not by the iteration hot path.
+func (c *Compressed) SliceApprox(k int) *mat.Dense {
+	return c.A[k].Mul(c.F[k].ScaleColumns(c.E)).MulT(c.D)
+}
+
+// Compress runs the two-stage compression (lines 2-6 of Algorithm 3).
+// Stage 1 is parallelized with the greedy slice partition of Algorithm 4,
+// because the randomized-SVD cost of slice k is proportional to I_k.
+func Compress(t *tensor.Irregular, cfg Config) *Compressed {
+	g := rng.New(cfg.Seed)
+	r := cfg.Rank
+	k := t.K()
+	opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
+
+	// Pre-split deterministic child generators so the result does not
+	// depend on goroutine scheduling.
+	gens := make([]*rng.RNG, k)
+	for kk := 0; kk < k; kk++ {
+		gens[kk] = g.Split()
+	}
+
+	// Stage 1: per-slice randomized SVD, load-balanced by row count.
+	a := make([]*mat.Dense, k)
+	cb := make([]*mat.Dense, k) // C_k B_k, J × R
+	buckets := scheduler.Partition(t.Rows(), cfg.threads())
+	scheduler.RunPartitioned(buckets, func(kk int) {
+		d := rsvd.Decompose(gens[kk], t.Slices[kk], r, opts)
+		a[kk] = d.U
+		cb[kk] = d.V.ScaleColumns(d.S) // C_k B_k
+	})
+
+	// Stage 2: randomized SVD of M = ‖_k (C_k B_k) ∈ R^{J×KR}.
+	m := mat.HConcat(cb...)
+	d2 := rsvd.Decompose(g, m, r, opts)
+
+	f := make([]*mat.Dense, k)
+	for kk := 0; kk < k; kk++ {
+		f[kk] = d2.V.RowBlock(kk*r, (kk+1)*r)
+	}
+	return &Compressed{A: a, D: d2.U, E: d2.S, F: f, J: t.J, Rank: r}
+}
+
+// DPar2 runs the full method of the paper (Algorithm 3): two-stage
+// compression, then ALS iterations that touch only the compressed factors.
+//
+// Per iteration (Lemmas 1-3) the cost is O(JR² + KR³) — independent of the
+// slice heights I_k — versus O(Σ_k I_k J R) for PARAFAC2-ALS.
+func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
+	if err := cfg.validate(t); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	comp := Compress(t, cfg)
+	preprocess := time.Since(start)
+
+	res, err := DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.PreprocessTime = preprocess
+	res.TotalTime = time.Since(start)
+	res.Fitness = Fitness(t, res)
+	return res, nil
+}
+
+// DPar2FromCompressed runs the iteration phase of Algorithm 3 on an already
+// compressed tensor. Exposed separately so callers can amortize compression
+// across runs (e.g. rank sweeps over the same data) and so benchmarks can
+// time the phases independently.
+func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
+	iterStart := time.Now()
+	g := rng.New(cfg.Seed + 0x9e37)
+	r := cfg.Rank
+	k := len(comp.A)
+	threads := cfg.threads()
+
+	h, v, s := initCommon(g, comp.J, k, r)
+
+	// Per-slice R×R working state.
+	z := make([]*mat.Dense, k)  // Z_k
+	p := make([]*mat.Dense, k)  // P_k
+	tf := make([]*mat.Dense, k) // T_k = P_k Z_kᵀ F⁽ᵏ⁾ (the factor of Y_k)
+
+	res := &Result{S: s, PreprocessedBytes: comp.SizeBytes()}
+
+	prev := -1.0
+	for it := 0; it < cfg.MaxIters; it++ {
+		res.Iters = it + 1
+
+		// D ᵀV is shared by the Q_k update and Lemma 1.
+		dtv := comp.D.TMul(v) // R × R
+
+		// --- Update Q_k in factored form (Section III-D) -------------
+		// SVD of F⁽ᵏ⁾ E DᵀV S_k Hᵀ (R×R) gives Z_k Σ_k P_kᵀ;
+		// Q_k = A_k Z_k P_kᵀ is never materialized.
+		scheduler.ParallelFor(k, threads, func(kk int) {
+			m := comp.F[kk].ScaleColumns(comp.E). // F⁽ᵏ⁾E
+								Mul(dtv).            // · DᵀV
+								ScaleColumns(s[kk]). // · S_k
+								MulT(h)              // · Hᵀ
+			d := lapack.Factor(m)
+			z[kk] = d.U
+			p[kk] = d.V
+			// Y_k = P_k Z_kᵀ F⁽ᵏ⁾ E Dᵀ; cache T_k = P_k Z_kᵀ F⁽ᵏ⁾.
+			tf[kk] = p[kk].MulT(z[kk]).Mul(comp.F[kk])
+		})
+
+		// --- One CP-ALS sweep via Lemmas 1-3 --------------------------
+		w := wMatrix(s)
+
+		// Lemma 1: G⁽¹⁾(:,r) = (Σ_k W(k,r) T_k) E DᵀV(:,r).
+		g1 := lemma1(tf, w, comp.E, dtv, threads)
+		h = solveUpdate(g1, w.TMul(w).Hadamard(v.TMul(v)), cfg)
+
+		// Lemma 2: G⁽²⁾(:,r) = D E Σ_k W(k,r) T_kᵀ H(:,r).
+		g2 := lemma2(tf, w, comp.D, comp.E, h, threads)
+		v = solveUpdate(g2, w.TMul(w).Hadamard(h.TMul(h)), cfg)
+
+		// Lemma 3: G⁽³⁾(k,r) = H(:,r)ᵀ T_k E DᵀV(:,r), recomputed with
+		// the fresh V.
+		dtv = comp.D.TMul(v)
+		g3 := lemma3(tf, comp.E, dtv, h, threads)
+		w = solveUpdate(g3, v.TMul(v).Hadamard(h.TMul(h)), cfg)
+		projectW(w, cfg)
+		unpackW(w, s)
+
+		// --- Compressed convergence check (Section III-E) -------------
+		// e = Σ_k ‖P_k Z_kᵀ F⁽ᵏ⁾ E Dᵀ − H S_k Vᵀ‖_F², computed on R×R
+		// Gram matrices only.
+		cur := compressedError2(tf, comp.E, dtv, v, h, s)
+		if cfg.TrackConvergence {
+			res.ConvergenceTrace = append(res.ConvergenceTrace, cur)
+		}
+		if cfg.Progress != nil && !cfg.Progress(res.Iters, cur) {
+			prev = cur
+			break
+		}
+		if prev >= 0 && relChange(prev, cur) < cfg.Tol {
+			prev = cur
+			break
+		}
+		prev = cur
+	}
+
+	// Materialize Q_k = A_k Z_k P_kᵀ (line 25 materializes U_k = Q_k H).
+	q := make([]*mat.Dense, k)
+	scheduler.ParallelFor(k, threads, func(kk int) {
+		q[kk] = comp.A[kk].Mul(z[kk]).MulT(p[kk])
+	})
+
+	res.H, res.V, res.Q = h, v, q
+	res.IterTime = time.Since(iterStart)
+	return res, nil
+}
+
+// lemma1 computes G⁽¹⁾ = Y(1)(W ⊙ V) ∈ R^{R×R} without reconstructing Y(1):
+// column r is (Σ_k W(k,r) T_k) · (E DᵀV(:,r)). Cost O(KR³ + R³).
+func lemma1(tf []*mat.Dense, w *mat.Dense, e []float64, dtv *mat.Dense, threads int) *mat.Dense {
+	r := dtv.Cols
+	out := mat.New(r, r)
+	scheduler.ParallelFor(r, threads, func(col int) {
+		// acc = Σ_k W(k,col) T_k
+		acc := mat.New(r, r)
+		for k, t := range tf {
+			acc.AddScaledInPlace(w.At(k, col), t)
+		}
+		// rhs = E DᵀV(:,col)
+		rhs := make([]float64, r)
+		for i := 0; i < r; i++ {
+			rhs[i] = e[i] * dtv.At(i, col)
+		}
+		out.SetCol(col, acc.MulVec(rhs))
+	})
+	return out
+}
+
+// lemma2 computes G⁽²⁾ = Y(2)(W ⊙ H) ∈ R^{J×R}: column r is
+// D E (Σ_k W(k,r) T_kᵀ H(:,r)). Note F⁽ᵏ⁾ᵀ Z_k P_kᵀ = T_kᵀ. Cost O(JR² + KR³).
+func lemma2(tf []*mat.Dense, w *mat.Dense, d *mat.Dense, e []float64, h *mat.Dense, threads int) *mat.Dense {
+	r := h.Cols
+	out := mat.New(d.Rows, r)
+	scheduler.ParallelFor(r, threads, func(col int) {
+		hcol := h.Col(col)
+		acc := make([]float64, r)
+		for k, t := range tf {
+			wk := w.At(k, col)
+			if wk == 0 {
+				continue
+			}
+			// acc += wk * T_kᵀ hcol
+			tv := t.TMulVec(hcol)
+			for i := range acc {
+				acc[i] += wk * tv[i]
+			}
+		}
+		for i := range acc {
+			acc[i] *= e[i]
+		}
+		out.SetCol(col, d.MulVec(acc))
+	})
+	return out
+}
+
+// lemma3 computes G⁽³⁾ = Y(3)(V ⊙ H) ∈ R^{K×R}: entry (k,r) is
+// vec(T_k)ᵀ (E DᵀV(:,r) ⊗ H(:,r)) = H(:,r)ᵀ T_k (E DᵀV(:,r)). Cost O(KR³).
+func lemma3(tf []*mat.Dense, e []float64, dtv, h *mat.Dense, threads int) *mat.Dense {
+	r := h.Cols
+	k := len(tf)
+	// edtv(:,r) = E DᵀV(:,r)
+	edtv := dtv.ScaleRows(e)
+	out := mat.New(k, r)
+	scheduler.ParallelFor(k, threads, func(kk int) {
+		// M = T_k · edtv (R×R); out(k,r) = H(:,r)ᵀ M(:,r).
+		m := tf[kk].Mul(edtv)
+		row := out.Row(kk)
+		for col := 0; col < r; col++ {
+			var sum float64
+			for i := 0; i < r; i++ {
+				sum += h.At(i, col) * m.At(i, col)
+			}
+			row[col] = sum
+		}
+	})
+	return out
+}
+
+// compressedError2 evaluates Σ_k ‖T_k E Dᵀ − H S_k Vᵀ‖_F² using only R×R
+// Gram matrices: with G_k = T_k E and B_k = H S_k,
+//
+//	‖G_k Dᵀ‖² = ‖G_k‖²                 (DᵀD = I)
+//	‖B_k Vᵀ‖² = ⟨B_k (VᵀV), B_k⟩
+//	⟨G_k Dᵀ, B_k Vᵀ⟩ = ⟨G_k (DᵀV)ᵀ… = ⟨G_k, B_k (VᵀD)⟩
+//
+// which lowers the paper's O(JKR²) check to O(JR² + KR³).
+func compressedError2(tf []*mat.Dense, e []float64, dtv, v, h *mat.Dense, s [][]float64) float64 {
+	vtv := v.TMul(v) // R×R
+	vtd := dtv.T()   // VᵀD, R×R
+	var total float64
+	for k, t := range tf {
+		gk := t.ScaleColumns(e)    // T_k E
+		bk := h.ScaleColumns(s[k]) // H S_k
+		normG := gk.FrobNorm2()
+		bv := bk.Mul(vtv)
+		var normB, cross float64
+		bvd := bk.Mul(vtd)
+		for i := range gk.Data {
+			normB += bv.Data[i] * bk.Data[i]
+			cross += gk.Data[i] * bvd.Data[i]
+		}
+		total += normG + normB - 2*cross
+	}
+	if total < 0 {
+		total = 0 // guard tiny negative round-off
+	}
+	return total
+}
+
+// CompressedErrorDirect2 materializes the R×J matrices and computes the same
+// quantity directly — the paper's O(JKR²) formulation. Kept for tests (it
+// must agree with compressedError2) and for the convergence ablation.
+func CompressedErrorDirect2(comp *Compressed, tf []*mat.Dense, v, h *mat.Dense, s [][]float64) float64 {
+	var total float64
+	for k, t := range tf {
+		lhs := t.ScaleColumns(comp.E).MulT(comp.D) // R×J
+		rhs := h.ScaleColumns(s[k]).MulT(v)        // R×J
+		d := lhs.FrobDist(rhs)
+		total += d * d
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+package parafac2
+
+import "repro/internal/mat"
+
+// Exported aliases of the iteration-kernel internals, used by the ablation
+// benchmarks (bench_test.go) to time the Lemma 1-3 reorderings and the
+// convergence-check variants in isolation. Production callers use DPar2.
+
+// LemmaG1 computes G⁽¹⁾ = Y(1)(W ⊙ V) from the factored slices (Lemma 1).
+func LemmaG1(tf []*mat.Dense, w *mat.Dense, e []float64, dtv *mat.Dense, threads int) *mat.Dense {
+	return lemma1(tf, w, e, dtv, threads)
+}
+
+// LemmaG2 computes G⁽²⁾ = Y(2)(W ⊙ H) from the factored slices (Lemma 2).
+func LemmaG2(tf []*mat.Dense, w, d *mat.Dense, e []float64, h *mat.Dense, threads int) *mat.Dense {
+	return lemma2(tf, w, d, e, h, threads)
+}
+
+// LemmaG3 computes G⁽³⁾ = Y(3)(V ⊙ H) from the factored slices (Lemma 3).
+func LemmaG3(tf []*mat.Dense, e []float64, dtv, h *mat.Dense, threads int) *mat.Dense {
+	return lemma3(tf, e, dtv, h, threads)
+}
+
+// CompressedErrorGram2 evaluates the Section III-E convergence measure with
+// the O(JR² + KR³) Gram-matrix formulation DPar2 uses internally.
+func CompressedErrorGram2(tf []*mat.Dense, e []float64, dtv, v, h *mat.Dense, s [][]float64) float64 {
+	return compressedError2(tf, e, dtv, v, h, s)
+}

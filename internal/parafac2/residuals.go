@@ -1,0 +1,129 @@
+package parafac2
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Residual analysis: PARAFAC2's classical applications include fault
+// detection (Wise et al. 2001, cited by the paper) and phenotype discovery,
+// where the per-slice reconstruction error of a fitted model flags slices
+// that do not follow the shared structure.
+
+// SliceResiduals returns the relative reconstruction error of every slice:
+// ‖X_k − X̂_k‖_F / ‖X_k‖_F. Slices that the shared factors cannot explain
+// (faults, outliers, regime changes) show elevated residuals.
+func SliceResiduals(t *tensor.Irregular, r *Result) []float64 {
+	out := make([]float64, t.K())
+	for k, xk := range t.Slices {
+		n := xk.FrobNorm()
+		if n == 0 {
+			out[k] = 0
+			continue
+		}
+		out[k] = xk.FrobDist(r.ReconstructSlice(k)) / n
+	}
+	return out
+}
+
+// SliceFitness returns 1 − residual² per slice, the per-slice analogue of
+// the global fitness measure.
+func SliceFitness(t *tensor.Irregular, r *Result) []float64 {
+	res := SliceResiduals(t, r)
+	for i, v := range res {
+		res[i] = 1 - v*v
+	}
+	return res
+}
+
+// Anomaly flags one slice identified by residual analysis.
+type Anomaly struct {
+	Slice    int
+	Residual float64
+	// Score is the robust z-score of the residual: distance from the
+	// median in units of 1.4826·MAD. Scores above ~3.5 are conventionally
+	// anomalous.
+	Score float64
+}
+
+// DetectAnomalies ranks slices by how far their residual deviates from the
+// cohort, using the median/MAD robust z-score, and returns those whose
+// score exceeds threshold (descending by score).
+func DetectAnomalies(t *tensor.Irregular, r *Result, threshold float64) []Anomaly {
+	res := SliceResiduals(t, r)
+	med := median(res)
+	dev := make([]float64, len(res))
+	for i, v := range res {
+		dev[i] = math.Abs(v - med)
+	}
+	mad := median(dev)
+	scale := 1.4826 * mad
+	if scale == 0 {
+		scale = 1e-12
+	}
+	var out []Anomaly
+	for k, v := range res {
+		score := (v - med) / scale
+		if score > threshold {
+			out = append(out, Anomaly{Slice: k, Residual: v, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// SortComponents reorders the R components of a result in place by
+// descending energy (the norm of the corresponding W column, i.e. how much
+// weight the component carries across slices). PARAFAC2 factors come out of
+// ALS in arbitrary component order; a canonical order makes results easier
+// to read and compare across runs.
+func (r *Result) SortComponents() {
+	rank := r.H.Cols
+	energy := make([]float64, rank)
+	for _, s := range r.S {
+		for c, v := range s {
+			energy[c] += v * v
+		}
+	}
+	order := make([]int, rank)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return energy[order[a]] > energy[order[b]] })
+
+	permCols := func(m *mat.Dense) *mat.Dense {
+		out := mat.New(m.Rows, m.Cols)
+		for newC, oldC := range order {
+			out.SetCol(newC, m.Col(oldC))
+		}
+		return out
+	}
+	// The component index r appears in the columns of H and V and the
+	// entries of S_k (the model is Σ_r Q_k H(:,r) S_k(r) V(:,r)ᵀ); the
+	// columns of Q_k pair with H's *rows* and must not be permuted.
+	r.H = permCols(r.H)
+	r.V = permCols(r.V)
+	for k := range r.S {
+		ns := make([]float64, rank)
+		for newC, oldC := range order {
+			ns[newC] = r.S[k][oldC]
+		}
+		r.S[k] = ns
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

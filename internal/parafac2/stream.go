@@ -1,0 +1,141 @@
+package parafac2
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/rsvd"
+	"repro/internal/scheduler"
+	"repro/internal/tensor"
+)
+
+// Append extends a compressed tensor with newly arrived slices without
+// recompressing the old ones — the streaming setting the paper names as
+// future work (and SPADE addresses for sparse data).
+//
+// Derivation: the existing compression is M ≈ D E Fᵀ with M = ‖_k C_k B_k.
+// When slices X_{K+1..K+n} arrive, each is sketched once (stage 1) giving
+// new blocks N = ‖_new (C_k B_k) ∈ R^{J×nR}. The updated concatenation is
+//
+//	M' = [M ‖ N] ≈ [D E ‖ N] · blkdiag(Fᵀ, I)
+//
+// so a randomized SVD of the small matrix G = [D·E ‖ N] ∈ R^{J×(R+nR)},
+// G ≈ D' E' Wᵀ, yields the updated basis D', E' and — splitting W into its
+// first R rows W₁ and the rest W₂ — the updated right blocks
+//
+//	F'⁽ᵏ⁾ = F⁽ᵏ⁾ W₁   for old slices k ≤ K
+//	F'⁽ᵏ⁾ = W₂⁽ᵏ⁾     for new slices.
+//
+// The cost is O(Σ_new I_k J R + J (n+1) R²): independent of the K slices
+// already absorbed.
+func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) error {
+	if len(newSlices) == 0 {
+		return nil
+	}
+	r := c.Rank
+	for i, s := range newSlices {
+		if s.Cols != c.J {
+			return fmt.Errorf("parafac2: appended slice %d has %d columns, want %d", i, s.Cols, c.J)
+		}
+		if s.Rows < r {
+			return fmt.Errorf("parafac2: appended slice %d has %d rows < rank %d", i, s.Rows, r)
+		}
+	}
+	opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
+
+	// Stage 1 on the new slices only, load-balanced as in Compress.
+	n := len(newSlices)
+	gens := make([]*rng.RNG, n)
+	for i := range gens {
+		gens[i] = g.Split()
+	}
+	rows := make([]int, n)
+	for i, s := range newSlices {
+		rows[i] = s.Rows
+	}
+	newA := make([]*mat.Dense, n)
+	newCB := make([]*mat.Dense, n)
+	scheduler.RunPartitioned(scheduler.Partition(rows, cfg.threads()), func(i int) {
+		d := rsvd.Decompose(gens[i], newSlices[i], r, opts)
+		newA[i] = d.U
+		newCB[i] = d.V.ScaleColumns(d.S)
+	})
+
+	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR).
+	parts := make([]*mat.Dense, 0, n+1)
+	parts = append(parts, c.D.ScaleColumns(c.E))
+	parts = append(parts, newCB...)
+	gmat := mat.HConcat(parts...)
+	d2 := rsvd.Decompose(g, gmat, r, opts)
+
+	w1 := d2.V.RowBlock(0, r) // R × R: how the old basis rotates
+	// Rewrite old F blocks in the new basis.
+	for k, f := range c.F {
+		c.F[k] = f.Mul(w1)
+	}
+	// New F blocks come straight from W₂.
+	for i := 0; i < n; i++ {
+		c.F = append(c.F, d2.V.RowBlock(r+i*r, r+(i+1)*r))
+	}
+	c.A = append(c.A, newA...)
+	c.D = d2.U
+	c.E = d2.S
+	return nil
+}
+
+// StreamingDPar2 maintains a PARAFAC2 decomposition over a growing irregular
+// tensor: slices arrive in batches, each batch is absorbed with Append, and
+// the factors are refreshed by re-running the (cheap) iteration phase on the
+// compressed representation.
+type StreamingDPar2 struct {
+	cfg    Config
+	g      *rng.RNG
+	comp   *Compressed
+	result *Result
+	// absorbed counts the slices seen so far.
+	absorbed int
+}
+
+// NewStreamingDPar2 initializes the stream with a first batch.
+func NewStreamingDPar2(initial *tensor.Irregular, cfg Config) (*StreamingDPar2, error) {
+	if err := cfg.validate(initial); err != nil {
+		return nil, err
+	}
+	s := &StreamingDPar2{
+		cfg:      cfg,
+		g:        rng.New(cfg.Seed + 0x5eed),
+		comp:     Compress(initial, cfg),
+		absorbed: initial.K(),
+	}
+	res, err := DPar2FromCompressed(s.comp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.result = res
+	return s, nil
+}
+
+// Absorb folds a batch of new slices into the stream and refreshes the
+// factors. Only the new slices are touched at full resolution.
+func (s *StreamingDPar2) Absorb(newSlices []*mat.Dense) error {
+	if err := s.comp.Append(s.g, newSlices, s.cfg); err != nil {
+		return err
+	}
+	s.absorbed += len(newSlices)
+	res, err := DPar2FromCompressed(s.comp, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.result = res
+	return nil
+}
+
+// Result returns the current factorization (covering every absorbed slice).
+func (s *StreamingDPar2) Result() *Result { return s.result }
+
+// K returns the number of slices absorbed so far.
+func (s *StreamingDPar2) K() int { return s.absorbed }
+
+// Compressed exposes the maintained compressed representation.
+func (s *StreamingDPar2) Compressed() *Compressed { return s.comp }

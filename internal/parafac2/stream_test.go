@@ -1,0 +1,109 @@
+package parafac2
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestAppendMatchesFullCompressOnExactData(t *testing.T) {
+	// On exact low-rank data both the incremental and the full compression
+	// are lossless, so slice approximations must match the originals.
+	g := rng.New(1)
+	full := synthPARAFAC2(g, []int{40, 60, 50, 70, 55}, 20, 3, 0)
+	cfg := smallConfig(3)
+
+	initial := tensor.MustIrregular(full.Slices[:3])
+	comp := Compress(initial, cfg)
+	if err := comp.Append(rng.New(99), full.Slices[3:], cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.A) != 5 || len(comp.F) != 5 {
+		t.Fatalf("compressed holds %d/%d slices, want 5", len(comp.A), len(comp.F))
+	}
+	for k := range full.Slices {
+		rel := comp.SliceApprox(k).FrobDist(full.Slices[k]) / full.Slices[k].FrobNorm()
+		if rel > 1e-6 {
+			t.Fatalf("slice %d approx error %v after append", k, rel)
+		}
+	}
+	if !comp.D.IsOrthonormalCols(1e-8) {
+		t.Fatal("D lost orthonormality after append")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	g := rng.New(2)
+	ten := synthPARAFAC2(g, []int{30, 40}, 10, 2, 0)
+	cfg := smallConfig(2)
+	comp := Compress(ten, cfg)
+
+	if err := comp.Append(g, nil, cfg); err != nil {
+		t.Fatalf("empty append should be a no-op: %v", err)
+	}
+	bad := []*mat.Dense{mat.New(20, 11)} // wrong column count
+	if err := comp.Append(g, bad, cfg); err == nil {
+		t.Fatal("expected column-mismatch error")
+	}
+	tiny := []*mat.Dense{mat.New(1, 10)} // fewer rows than rank
+	if err := comp.Append(g, tiny, cfg); err == nil {
+		t.Fatal("expected rank/rows error")
+	}
+}
+
+func TestStreamingDPar2TracksBatches(t *testing.T) {
+	g := rng.New(3)
+	full := synthPARAFAC2(g, []int{50, 60, 45, 70, 55, 65, 40, 75}, 18, 3, 0.02)
+	cfg := smallConfig(3)
+	cfg.MaxIters = 40
+
+	s, err := NewStreamingDPar2(tensor.MustIrregular(full.Slices[:4]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 4 {
+		t.Fatalf("K=%d want 4", s.K())
+	}
+	if err := s.Absorb(full.Slices[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Absorb(full.Slices[6:]); err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 8 {
+		t.Fatalf("K=%d want 8", s.K())
+	}
+	// The streamed factorization should fit the *entire* tensor well.
+	fit := Fitness(full, s.Result())
+	if fit < 0.95 {
+		t.Fatalf("streaming fitness %v over all 8 slices", fit)
+	}
+	if len(s.Result().Q) != 8 {
+		t.Fatalf("result covers %d slices", len(s.Result().Q))
+	}
+}
+
+func TestStreamingComparableToBatch(t *testing.T) {
+	g := rng.New(4)
+	full := synthPARAFAC2(g, []int{60, 50, 70, 55, 65, 45}, 16, 3, 0.05)
+	cfg := smallConfig(3)
+	cfg.MaxIters = 60
+
+	batch, err := DPar2(full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamingDPar2(tensor.MustIrregular(full.Slices[:3]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Absorb(full.Slices[3:]); err != nil {
+		t.Fatal(err)
+	}
+	streamFit := Fitness(full, s.Result())
+	if streamFit < batch.Fitness-0.03 {
+		t.Fatalf("streaming fitness %v far below batch %v", streamFit, batch.Fitness)
+	}
+}

@@ -1,0 +1,123 @@
+// Package rng provides a small, fast, deterministic random number generator
+// used throughout the repository. Determinism matters here: randomized SVD is
+// a Monte-Carlo algorithm, and reproducible sketches make tests and benchmark
+// comparisons stable across runs and machines.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the combination
+// recommended by the xoshiro authors. It is not safe for concurrent use; each
+// worker goroutine derives its own child generator with Split.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+
+	// Box-Muller produces Gaussians in pairs; cache the spare.
+	haveSpare bool
+	spare     float64
+}
+
+// New returns a generator seeded from seed via SplitMix64, so that nearby
+// seeds still produce well-separated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child generator. The parent advances, so
+// successive Split calls yield distinct streams.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard Gaussian variate via the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.haveSpare = true
+	return u * m
+}
+
+// NormSlice fills dst with independent standard Gaussians.
+func (r *RNG) NormSlice(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Norm()
+	}
+}
+
+// UniformSlice fills dst with independent uniforms in [lo, hi).
+func (r *RNG) UniformSlice(dst []float64, lo, hi float64) {
+	w := hi - lo
+	for i := range dst {
+		dst[i] = lo + w*r.Float64()
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

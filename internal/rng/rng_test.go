@@ -1,0 +1,142 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 10000; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	g := New(4)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += g.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v far from 0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	g := New(5)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := g.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("gaussian mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("gaussian variance %v", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	g := New(6)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := g.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(8)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split children collided %d times", same)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	g := New(9)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormSliceAndUniformSlice(t *testing.T) {
+	g := New(10)
+	xs := make([]float64, 1000)
+	g.NormSlice(xs)
+	nonzero := 0
+	for _, v := range xs {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 990 {
+		t.Fatal("NormSlice produced too many zeros")
+	}
+	g.UniformSlice(xs, 2, 3)
+	for _, v := range xs {
+		if v < 2 || v >= 3 {
+			t.Fatalf("UniformSlice out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package rsvd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// lowRankPlusNoise builds an I×J matrix with exact rank r signal plus small
+// Gaussian noise — the regime randomized SVD is designed for.
+func lowRankPlusNoise(g *rng.RNG, i, j, r int, noise float64) *mat.Dense {
+	u := mat.Gaussian(g, i, r)
+	v := mat.Gaussian(g, r, j)
+	a := u.Mul(v)
+	if noise > 0 {
+		n := mat.Gaussian(g, i, j).Scale(noise)
+		a.AddInPlace(n)
+	}
+	return a
+}
+
+func TestDecomposeExactLowRank(t *testing.T) {
+	g := rng.New(1)
+	a := lowRankPlusNoise(g, 200, 60, 5, 0)
+	d := Decompose(g, a, 5, DefaultOptions())
+	if rel := d.Reconstruct().FrobDist(a) / a.FrobNorm(); rel > 1e-8 {
+		t.Fatalf("exact rank-5 matrix not recovered: rel err %g", rel)
+	}
+	if !d.U.IsOrthonormalCols(1e-8) || !d.V.IsOrthonormalCols(1e-8) {
+		t.Fatal("factors not orthonormal")
+	}
+	if len(d.S) != 5 {
+		t.Fatalf("expected 5 singular values, got %d", len(d.S))
+	}
+}
+
+func TestDecomposeNoisyLowRankNearOptimal(t *testing.T) {
+	g := rng.New(2)
+	a := lowRankPlusNoise(g, 150, 80, 8, 0.01)
+	r := 8
+	det := lapack.Truncated(a, r)
+	rand := Decompose(g, a, r, DefaultOptions())
+	errDet := det.Reconstruct().FrobDist(a)
+	errRand := rand.Reconstruct().FrobDist(a)
+	// Randomized error should be within a few percent of optimal.
+	if errRand > errDet*1.1+1e-12 {
+		t.Fatalf("randomized SVD error %g vs deterministic %g", errRand, errDet)
+	}
+}
+
+func TestDecomposeSingularValueAccuracy(t *testing.T) {
+	g := rng.New(3)
+	a := lowRankPlusNoise(g, 120, 50, 6, 0)
+	det := lapack.Truncated(a, 6)
+	rand := Decompose(g, a, 6, DefaultOptions())
+	for i := range rand.S {
+		if rel := math.Abs(rand.S[i]-det.S[i]) / (det.S[i] + 1e-300); rel > 1e-6 {
+			t.Fatalf("singular value %d: randomized %g vs true %g", i, rand.S[i], det.S[i])
+		}
+	}
+}
+
+func TestDecomposeDeterministicFallback(t *testing.T) {
+	// When the sketch would exceed min(I, J), Decompose must fall back to a
+	// deterministic truncated SVD and still return a valid factorization.
+	g := rng.New(4)
+	a := mat.Gaussian(g, 10, 8)
+	d := Decompose(g, a, 6, DefaultOptions()) // 6+8 >= 8 → fallback
+	if len(d.S) != 6 {
+		t.Fatalf("want 6 singular values, got %d", len(d.S))
+	}
+	if !d.U.IsOrthonormalCols(1e-8) {
+		t.Fatal("fallback U not orthonormal")
+	}
+}
+
+func TestDecomposePowerIterationsImprove(t *testing.T) {
+	// With a slowly decaying spectrum, q=2 should do at least as well as q=0
+	// (allowing small randomness slack).
+	g := rng.New(5)
+	// Build a matrix with polynomial spectral decay.
+	n := 100
+	u := lapack.QRFactor(mat.Gaussian(g, n, n/2)).Q
+	v := lapack.QRFactor(mat.Gaussian(g, n, n/2)).Q
+	s := make([]float64, n/2)
+	for i := range s {
+		s[i] = 1 / math.Pow(float64(i+1), 0.5)
+	}
+	a := u.ScaleColumns(s).MulT(v)
+
+	r := 10
+	e0 := Decompose(rng.New(100), a, r, Options{Oversample: 4, PowerIters: 0}).Reconstruct().FrobDist(a)
+	e2 := Decompose(rng.New(100), a, r, Options{Oversample: 4, PowerIters: 2}).Reconstruct().FrobDist(a)
+	if e2 > e0*1.02 {
+		t.Fatalf("power iterations hurt: q=0 err %g, q=2 err %g", e0, e2)
+	}
+}
+
+func TestDecomposeReproducible(t *testing.T) {
+	mk := func() []float64 {
+		g := rng.New(42)
+		a := lowRankPlusNoise(g, 80, 40, 5, 0.05)
+		d := Decompose(g, a, 5, DefaultOptions())
+		return d.S
+	}
+	s1 := mk()
+	s2 := mk()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("randomized SVD not reproducible with fixed seed")
+		}
+	}
+}
+
+func TestDecomposePanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank 0")
+		}
+	}()
+	g := rng.New(6)
+	Decompose(g, mat.Gaussian(g, 5, 5), 0, DefaultOptions())
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{Oversample: -3, PowerIters: -1}.normalize()
+	if o.Oversample != 0 || o.PowerIters != 0 {
+		t.Fatalf("normalize failed: %+v", o)
+	}
+}
+
+func TestQuickDecomposeOrthonormal(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		i := 40 + g.Intn(60)
+		j := 30 + g.Intn(40)
+		r := 2 + g.Intn(5)
+		a := lowRankPlusNoise(g, i, j, r+2, 0.02)
+		d := Decompose(g, a, r, DefaultOptions())
+		return d.U.IsOrthonormalCols(1e-7) && d.V.IsOrthonormalCols(1e-7) && len(d.S) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecomposeErrorBounded(t *testing.T) {
+	// Reconstruction error must never exceed the tail energy by a large
+	// factor (Halko et al. give ~(1+9√(k+s)√min(I,J)) in expectation; we
+	// use a loose practical bound).
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		a := lowRankPlusNoise(g, 60, 40, 4, 0.05)
+		r := 4
+		det := lapack.Truncated(a, r)
+		rand := Decompose(g, a, r, DefaultOptions())
+		return rand.Reconstruct().FrobDist(a) <= det.Reconstruct().FrobDist(a)*1.5+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package scheduler implements the careful work distribution of Section
+// III-F / Algorithm 4 of the DPar2 paper: a greedy number-partitioning of
+// slices across threads so that the per-thread sums of row counts (which the
+// stage-1 randomized-SVD cost is proportional to) are balanced despite the
+// irregularity of the tensor, plus a generic worker pool used by all
+// parallel phases.
+package scheduler
+
+import (
+	"sort"
+	"sync"
+)
+
+// Partition assigns the K items with the given sizes to t buckets using the
+// greedy longest-processing-time heuristic of Algorithm 4: sort sizes in
+// descending order and repeatedly place the next item in the bucket with the
+// smallest current sum. The result maps bucket → item indices.
+func Partition(sizes []int, t int) [][]int {
+	if t <= 0 {
+		t = 1
+	}
+	if t > len(sizes) && len(sizes) > 0 {
+		t = len(sizes)
+	}
+	buckets := make([][]int, t)
+	sums := make([]int64, t)
+
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
+
+	for _, item := range idx {
+		tmin := 0
+		for i := 1; i < t; i++ {
+			if sums[i] < sums[tmin] {
+				tmin = i
+			}
+		}
+		buckets[tmin] = append(buckets[tmin], item)
+		sums[tmin] += int64(sizes[item])
+	}
+	return buckets
+}
+
+// RoundRobin is the naive baseline allocation (item i → bucket i mod t),
+// used by the partitioning ablation.
+func RoundRobin(n, t int) [][]int {
+	if t <= 0 {
+		t = 1
+	}
+	if t > n && n > 0 {
+		t = n
+	}
+	buckets := make([][]int, t)
+	for i := 0; i < n; i++ {
+		buckets[i%t] = append(buckets[i%t], i)
+	}
+	return buckets
+}
+
+// MaxLoad returns the maximum bucket sum under the given assignment — the
+// makespan that determines parallel completion time.
+func MaxLoad(sizes []int, buckets [][]int) int64 {
+	var mx int64
+	for _, b := range buckets {
+		var s int64
+		for _, item := range b {
+			s += int64(sizes[item])
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Imbalance returns maxLoad / (total/t), the load-imbalance factor (1.0 is
+// perfect balance).
+func Imbalance(sizes []int, buckets [][]int) float64 {
+	var total int64
+	for _, s := range sizes {
+		total += int64(s)
+	}
+	if total == 0 || len(buckets) == 0 {
+		return 1
+	}
+	ideal := float64(total) / float64(len(buckets))
+	return float64(MaxLoad(sizes, buckets)) / ideal
+}
+
+// RunPartitioned executes fn(item) for every item, with each bucket's items
+// processed sequentially by one goroutine. fn must be safe for concurrent
+// invocation across buckets.
+func RunPartitioned(buckets [][]int, fn func(item int)) {
+	var wg sync.WaitGroup
+	for _, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(items []int) {
+			defer wg.Done()
+			for _, it := range items {
+				fn(it)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across at most workers goroutines
+// with contiguous chunking — the uniform allocation Section III-F uses for
+// the iteration phase, where per-item cost no longer depends on I_k.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

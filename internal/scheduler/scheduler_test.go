@@ -1,0 +1,167 @@
+package scheduler
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPartitionCoversAllItemsOnce(t *testing.T) {
+	sizes := []int{5, 3, 8, 1, 9, 2, 7}
+	buckets := Partition(sizes, 3)
+	seen := make(map[int]int)
+	for _, b := range buckets {
+		for _, item := range b {
+			seen[item]++
+		}
+	}
+	if len(seen) != len(sizes) {
+		t.Fatalf("covered %d of %d items", len(seen), len(sizes))
+	}
+	for item, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d assigned %d times", item, n)
+		}
+	}
+}
+
+func TestPartitionBalances(t *testing.T) {
+	// Long-tailed sizes like the stock data of Fig. 8.
+	g := rng.New(1)
+	sizes := make([]int, 500)
+	for i := range sizes {
+		sizes[i] = 1 + g.Intn(100)*g.Intn(100)
+	}
+	buckets := Partition(sizes, 6)
+	if imb := Imbalance(sizes, buckets); imb > 1.05 {
+		t.Fatalf("greedy partition imbalance %v", imb)
+	}
+}
+
+func TestPartitionBeatsRoundRobin(t *testing.T) {
+	// Adversarial for round-robin: sorted descending sizes.
+	sizes := make([]int, 100)
+	for i := range sizes {
+		sizes[i] = (100 - i) * (100 - i)
+	}
+	greedy := MaxLoad(sizes, Partition(sizes, 7))
+	naive := MaxLoad(sizes, RoundRobin(len(sizes), 7))
+	if greedy > naive {
+		t.Fatalf("greedy max load %d > round-robin %d", greedy, naive)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if got := Partition(nil, 4); len(got) != 4 {
+		t.Fatalf("empty sizes: %v", got)
+	}
+	if got := Partition([]int{3}, 0); len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("t=0 should clamp to 1: %v", got)
+	}
+	// More buckets than items: each bucket at most one item.
+	got := Partition([]int{3, 1}, 10)
+	if len(got) != 2 {
+		t.Fatalf("want 2 buckets, got %d", len(got))
+	}
+}
+
+func TestRoundRobinCoverage(t *testing.T) {
+	buckets := RoundRobin(10, 3)
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("round robin lost items: %d", total)
+	}
+}
+
+func TestMaxLoadAndImbalance(t *testing.T) {
+	sizes := []int{4, 4, 4, 4}
+	buckets := [][]int{{0, 1}, {2, 3}}
+	if MaxLoad(sizes, buckets) != 8 {
+		t.Fatal("MaxLoad wrong")
+	}
+	if Imbalance(sizes, buckets) != 1.0 {
+		t.Fatal("perfectly balanced should be 1.0")
+	}
+	if Imbalance(nil, nil) != 1 {
+		t.Fatal("degenerate imbalance should be 1")
+	}
+}
+
+func TestRunPartitionedExecutesAll(t *testing.T) {
+	sizes := make([]int, 64)
+	for i := range sizes {
+		sizes[i] = i + 1
+	}
+	var count int64
+	var sum int64
+	RunPartitioned(Partition(sizes, 8), func(item int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&sum, int64(item))
+	})
+	if count != 64 {
+		t.Fatalf("executed %d of 64", count)
+	}
+	if sum != 64*63/2 {
+		t.Fatalf("wrong item set, sum=%d", sum)
+	}
+}
+
+func TestParallelForExecutesAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		var count int64
+		ParallelFor(37, workers, func(i int) { atomic.AddInt64(&count, 1) })
+		if count != 37 {
+			t.Fatalf("workers=%d executed %d of 37", workers, count)
+		}
+	}
+	// n=0 must not hang or call fn.
+	ParallelFor(0, 4, func(i int) { t.Fatal("called for n=0") })
+}
+
+func TestQuickGreedyNeverWorseThanRoundRobin(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 1 + g.Intn(200)
+		workers := 1 + g.Intn(16)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + g.Intn(1000)
+		}
+		return MaxLoad(sizes, Partition(sizes, workers)) <= MaxLoad(sizes, RoundRobin(n, workers))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGreedyWithinGrahamBound(t *testing.T) {
+	// Graham's list-scheduling guarantee holds for any order, hence also
+	// for LPT: makespan ≤ total/m + (1 − 1/m)·max item. (Comparing against
+	// 4/3·lower-bound instead would be unsound: the 4/3 factor applies to
+	// OPT, which can exceed both total/m and the max item.)
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 1 + g.Intn(100)
+		workers := 1 + g.Intn(8)
+		sizes := make([]int, n)
+		total, mx := 0, 0
+		for i := range sizes {
+			sizes[i] = 1 + g.Intn(500)
+			total += sizes[i]
+			if sizes[i] > mx {
+				mx = sizes[i]
+			}
+		}
+		m := float64(workers)
+		bound := float64(total)/m + (1-1/m)*float64(mx)
+		return float64(MaxLoad(sizes, Partition(sizes, workers))) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

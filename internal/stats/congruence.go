@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Factor-match metrics: PARAFAC2 factors are identified only up to column
+// permutation and sign, so comparing two decompositions (e.g. DPar2 vs
+// exact ALS, or streamed vs batch) requires a permutation-invariant score.
+// The standard tool is Tucker's congruence coefficient with a greedy column
+// matching.
+
+// Congruence returns Tucker's congruence coefficient between two vectors:
+// ⟨x, y⟩ / (‖x‖‖y‖), in [-1, 1]. Unlike Pearson it does not center, which
+// is the convention for comparing factor loadings.
+func Congruence(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Congruence length mismatch")
+	}
+	nx := mat.Norm2(x)
+	ny := mat.Norm2(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return mat.Dot(x, y) / (nx * ny)
+}
+
+// FactorMatchScore compares two factor matrices (same shape, columns =
+// components) up to column permutation and sign: it greedily pairs each
+// column of a with its best-|congruence| column of b (without replacement)
+// and returns the average absolute congruence of the pairing, in [0, 1].
+// 1 means the factors span identical directions component-by-component.
+func FactorMatchScore(a, b *mat.Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("stats: FactorMatchScore shape mismatch")
+	}
+	r := a.Cols
+	if r == 0 {
+		return 1
+	}
+	used := make([]bool, r)
+	var total float64
+	for i := 0; i < r; i++ {
+		ai := a.Col(i)
+		best, bestAbs := -1, -1.0
+		for j := 0; j < r; j++ {
+			if used[j] {
+				continue
+			}
+			c := math.Abs(Congruence(ai, b.Col(j)))
+			if c > bestAbs {
+				best, bestAbs = j, c
+			}
+		}
+		used[best] = true
+		total += bestAbs
+	}
+	return total / float64(r)
+}
+
+// SubspaceAlignment measures how well the column spaces of two matrices
+// with orthonormal-ish columns agree: the mean squared singular value of
+// QaᵀQb where Qa, Qb are orthonormal bases (1 = identical subspaces,
+// 0 = orthogonal). Used to compare Q_k factors whose individual columns can
+// rotate freely within the subspace.
+func SubspaceAlignment(a, b *mat.Dense) float64 {
+	qa := gramSchmidt(a)
+	qb := gramSchmidt(b)
+	m := qa.TMul(qb) // r×r
+	// Σ σ_i² = ‖M‖_F²; mean over r gives the average cos².
+	r := float64(m.Rows)
+	if r == 0 {
+		return 1
+	}
+	return m.FrobNorm2() / r
+}
+
+// gramSchmidt returns an orthonormal basis of a's columns (two-pass MGS),
+// dropping numerically dependent columns.
+func gramSchmidt(a *mat.Dense) *mat.Dense {
+	cols := make([][]float64, 0, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		v := a.Col(j)
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range cols {
+				d := mat.Dot(v, u)
+				for i := range v {
+					v[i] -= d * u[i]
+				}
+			}
+		}
+		n := mat.Norm2(v)
+		if n < 1e-12 {
+			continue
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		cols = append(cols, v)
+	}
+	out := mat.New(a.Rows, len(cols))
+	for j, c := range cols {
+		out.SetCol(j, c)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+// Package stats implements the post-processing analytics of the paper's
+// discovery experiments (Section IV-E): Pearson correlation between factor
+// rows (Fig. 12's feature-similarity heatmaps), the exponential similarity
+// between per-stock temporal factors, k-nearest neighbors, and Random Walk
+// with Restart via power iteration (Table III).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns 0 when either input has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CorrelationMatrix returns the symmetric matrix of Pearson correlations
+// between the rows of m — for Fig. 12, rows of the factor V (one latent
+// vector per feature).
+func CorrelationMatrix(m *mat.Dense) *mat.Dense {
+	out := mat.New(m.Rows, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < m.Rows; j++ {
+			c := Pearson(m.Row(i), m.Row(j))
+			out.Set(i, j, c)
+			out.Set(j, i, c)
+		}
+	}
+	return out
+}
+
+// ExpSimilarity is Equation (10): sim(s_i, s_j) = exp(−γ‖U_i − U_j‖_F²).
+// The matrices must have the same shape (the paper compares only stocks
+// sharing the target time range).
+func ExpSimilarity(ui, uj *mat.Dense, gamma float64) float64 {
+	d := ui.FrobDist(uj)
+	return math.Exp(-gamma * d * d)
+}
+
+// Neighbor pairs an item index with a similarity score.
+type Neighbor struct {
+	Index int
+	Score float64
+}
+
+// TopK returns the k highest-scoring entries of scores, excluding the
+// indices for which exclude returns true (e.g. the query itself), in
+// descending score order.
+func TopK(scores []float64, k int, exclude func(i int) bool) []Neighbor {
+	idx := make([]int, 0, len(scores))
+	for i := range scores {
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = Neighbor{Index: idx[i], Score: scores[idx[i]]}
+	}
+	return out
+}
+
+// KNN returns the k nearest neighbors of item q under the similarity matrix
+// sim (higher = closer), excluding q itself.
+func KNN(sim *mat.Dense, q, k int) []Neighbor {
+	return TopK(sim.Row(q), k, func(i int) bool { return i == q })
+}
+
+// RWRConfig configures Random Walk with Restart.
+type RWRConfig struct {
+	RestartProb float64 // c in Equation (12); the paper uses 0.15
+	MaxIters    int     // the paper uses 100
+	Tol         float64 // early-exit on ‖r_i − r_{i−1}‖₁
+}
+
+// DefaultRWRConfig matches Section IV-E.
+func DefaultRWRConfig() RWRConfig {
+	return RWRConfig{RestartProb: 0.15, MaxIters: 100, Tol: 1e-12}
+}
+
+// RWR computes Random-Walk-with-Restart scores on the similarity graph with
+// adjacency adj (self-loops are ignored per Equation 11), restarting at
+// query q: r ← (1−c) Ãᵀ r + c e_q via power iteration (Equation 12).
+func RWR(adj *mat.Dense, q int, cfg RWRConfig) []float64 {
+	n := adj.Rows
+	if adj.Cols != n {
+		panic("stats: RWR adjacency not square")
+	}
+	// Row-normalize with zeroed diagonal; remember dangling nodes (zero
+	// out-degree), whose mass teleports back to the query so the scores
+	// remain a probability distribution.
+	norm := mat.New(n, n)
+	dangling := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += adj.At(i, j)
+			}
+		}
+		if sum == 0 {
+			dangling[i] = true
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				norm.Set(i, j, adj.At(i, j)/sum)
+			}
+		}
+	}
+	r := make([]float64, n)
+	r[q] = 1
+	c := cfg.RestartProb
+	for it := 0; it < cfg.MaxIters; it++ {
+		var lost float64
+		for i, d := range dangling {
+			if d {
+				lost += r[i]
+			}
+		}
+		next := norm.TMulVec(r)
+		var delta float64
+		for i := range next {
+			next[i] *= 1 - c
+			if i == q {
+				next[i] += c + (1-c)*lost
+			}
+			delta += math.Abs(next[i] - r[i])
+		}
+		r = next
+		if delta < cfg.Tol {
+			break
+		}
+	}
+	return r
+}
+
+// SimilarityGraph builds the adjacency matrix of Equation (11) from a
+// pairwise similarity function over n items: A(i,j) = sim(i,j) for i ≠ j,
+// A(i,i) = 0.
+func SimilarityGraph(n int, sim func(i, j int) float64) *mat.Dense {
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := sim(i, j)
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}

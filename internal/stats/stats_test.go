@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := Pearson(x, y); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("Pearson=%v want 1", c)
+	}
+	z := []float64{10, 8, 6, 4, 2}
+	if c := Pearson(x, z); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("Pearson=%v want -1", c)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	x := []float64{3, 3, 3}
+	y := []float64{1, 2, 3}
+	if c := Pearson(x, y); c != 0 {
+		t.Fatalf("Pearson with constant input=%v want 0", c)
+	}
+}
+
+func TestPearsonInvariantToAffine(t *testing.T) {
+	g := rng.New(1)
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	g.NormSlice(x)
+	g.NormSlice(y)
+	c1 := Pearson(x, y)
+	x2 := make([]float64, 50)
+	for i := range x {
+		x2[i] = 3*x[i] + 7
+	}
+	c2 := Pearson(x2, y)
+	if math.Abs(c1-c2) > 1e-12 {
+		t.Fatal("Pearson not affine invariant")
+	}
+}
+
+func TestCorrelationMatrixProperties(t *testing.T) {
+	g := rng.New(2)
+	m := mat.Gaussian(g, 6, 30)
+	c := CorrelationMatrix(m)
+	for i := 0; i < 6; i++ {
+		if math.Abs(c.At(i, i)-1) > 1e-12 {
+			t.Fatal("diagonal not 1")
+		}
+		for j := 0; j < 6; j++ {
+			if math.Abs(c.At(i, j)-c.At(j, i)) > 1e-12 {
+				t.Fatal("not symmetric")
+			}
+			if c.At(i, j) < -1-1e-12 || c.At(i, j) > 1+1e-12 {
+				t.Fatal("correlation out of [-1,1]")
+			}
+		}
+	}
+}
+
+func TestExpSimilarity(t *testing.T) {
+	g := rng.New(3)
+	a := mat.Gaussian(g, 5, 3)
+	if s := ExpSimilarity(a, a, 0.01); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self-similarity %v want 1", s)
+	}
+	b := mat.Gaussian(g, 5, 3)
+	s := ExpSimilarity(a, b, 0.01)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("similarity %v outside (0,1)", s)
+	}
+	// Larger gamma → smaller similarity.
+	if ExpSimilarity(a, b, 0.1) >= s {
+		t.Fatal("similarity not decreasing in gamma")
+	}
+}
+
+func TestTopKAndKNN(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	top := TopK(scores, 3, nil)
+	if top[0].Index != 1 || top[1].Index != 3 || top[2].Index != 2 {
+		t.Fatalf("TopK order wrong: %v", top)
+	}
+	top = TopK(scores, 10, func(i int) bool { return i == 1 })
+	if len(top) != 4 || top[0].Index != 3 {
+		t.Fatalf("TopK exclusion wrong: %v", top)
+	}
+
+	sim := mat.NewFromData(3, 3, []float64{
+		1, 0.8, 0.2,
+		0.8, 1, 0.5,
+		0.2, 0.5, 1,
+	})
+	nn := KNN(sim, 0, 2)
+	if nn[0].Index != 1 || nn[1].Index != 2 {
+		t.Fatalf("KNN wrong: %v", nn)
+	}
+}
+
+func TestRWRScoresSumToOne(t *testing.T) {
+	g := rng.New(4)
+	n := 12
+	adj := SimilarityGraph(n, func(i, j int) float64 { return 0.1 + g.Float64() })
+	r := RWR(adj, 3, DefaultRWRConfig())
+	var sum float64
+	for _, v := range r {
+		if v < 0 {
+			t.Fatalf("negative RWR score %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("RWR scores sum to %v", sum)
+	}
+}
+
+func TestRWRQueryHasHighScore(t *testing.T) {
+	g := rng.New(5)
+	n := 10
+	adj := SimilarityGraph(n, func(i, j int) float64 { return 0.1 + g.Float64() })
+	q := 4
+	r := RWR(adj, q, DefaultRWRConfig())
+	for i, v := range r {
+		if i != q && v > r[q] {
+			t.Fatalf("node %d outranks the query (%v > %v)", i, v, r[q])
+		}
+	}
+}
+
+func TestRWRFindsCluster(t *testing.T) {
+	// Two clusters {0,1,2} and {3,4,5} with strong intra-cluster edges.
+	adj := SimilarityGraph(6, func(i, j int) float64 {
+		if (i < 3) == (j < 3) {
+			return 1.0
+		}
+		return 0.01
+	})
+	r := RWR(adj, 0, DefaultRWRConfig())
+	// Every same-cluster node must outrank every cross-cluster node.
+	for _, in := range []int{1, 2} {
+		for _, out := range []int{3, 4, 5} {
+			if r[in] <= r[out] {
+				t.Fatalf("cluster-mate %d (%v) not above outsider %d (%v)", in, r[in], out, r[out])
+			}
+		}
+	}
+}
+
+func TestRWRRestartConcentration(t *testing.T) {
+	// Higher restart probability concentrates mass on the query.
+	g := rng.New(6)
+	adj := SimilarityGraph(8, func(i, j int) float64 { return 0.2 + g.Float64() })
+	lo := RWR(adj, 2, RWRConfig{RestartProb: 0.05, MaxIters: 200, Tol: 0})
+	hi := RWR(adj, 2, RWRConfig{RestartProb: 0.5, MaxIters: 200, Tol: 0})
+	if hi[2] <= lo[2] {
+		t.Fatalf("restart mass not increasing: c=0.5 gives %v, c=0.05 gives %v", hi[2], lo[2])
+	}
+}
+
+func TestRWRIsolatedNode(t *testing.T) {
+	// A node with no edges: all mass stays at the query via restart.
+	adj := mat.New(3, 3)
+	r := RWR(adj, 1, DefaultRWRConfig())
+	if r[1] < 0.99 {
+		t.Fatalf("isolated query kept only %v mass", r[1])
+	}
+}
+
+func TestSimilarityGraphSymmetricNoSelfLoops(t *testing.T) {
+	g := rng.New(7)
+	a := SimilarityGraph(5, func(i, j int) float64 { return g.Float64() })
+	for i := 0; i < 5; i++ {
+		if a.At(i, i) != 0 {
+			t.Fatal("self loop present")
+		}
+		for j := 0; j < 5; j++ {
+			if a.At(i, j) != a.At(j, i) {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+}
+
+func TestQuickPearsonBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 3 + g.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		g.NormSlice(x)
+		g.NormSlice(y)
+		c := Pearson(x, y)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPearsonSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 3 + g.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		g.NormSlice(x)
+		g.NormSlice(y)
+		return math.Abs(Pearson(x, y)-Pearson(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package repro is a from-scratch Go implementation of DPar2 (Jang & Kang,
+// "DPar2: Fast and Scalable PARAFAC2 Decomposition for Irregular Dense
+// Tensors", ICDE 2022), together with the PARAFAC2 baselines the paper
+// evaluates against and the analytics its discovery experiments use.
+//
+// An irregular tensor is a collection of dense matrices {X_k} sharing a
+// column count J but with individual row counts I_k (e.g. stocks with
+// different listing periods, songs with different durations). PARAFAC2
+// approximates each slice as X_k ≈ U_k S_k Vᵀ with U_k = Q_k H,
+// Q_kᵀQ_k = I, S_k diagonal, and H, V shared across slices.
+//
+// # Quickstart
+//
+//	g := repro.NewRNG(1)
+//	ten := repro.LowRankTensor(g, []int{300, 500, 400}, 50, 10, 0.01)
+//	cfg := repro.DefaultConfig() // rank 10, ≤32 iterations, 6 threads
+//	res, err := repro.DPar2(ten, cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Fitness, res.Iters, res.TotalTime)
+//
+// The heavy lifting lives in internal packages (mat, lapack, rsvd, tensor,
+// cp, parafac2, scheduler, datagen, stats); this package re-exports the
+// surface a downstream user needs.
+package repro
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/mat"
+	"repro/internal/parafac2"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Matrix is a row-major dense matrix of float64.
+type Matrix = mat.Dense
+
+// Irregular is an irregular 3-order tensor: K dense slices with a shared
+// column count and per-slice row counts.
+type Irregular = tensor.Irregular
+
+// Config carries the decomposition parameters (rank, iterations, tolerance,
+// threads, randomized-SVD knobs).
+type Config = parafac2.Config
+
+// Result is the output of a PARAFAC2 decomposition: factors H, V, S_k, Q_k
+// plus fitness, iteration count, and a timing/footprint breakdown.
+type Result = parafac2.Result
+
+// Compressed is the two-stage randomized-SVD compression of an irregular
+// tensor that DPar2 iterates on.
+type Compressed = parafac2.Compressed
+
+// RNG is the deterministic random number generator used for initialization,
+// sketches, and data generation.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// DefaultConfig mirrors the paper's experimental settings (rank 10, at most
+// 32 ALS iterations, 6 threads, oversampling 8, one power iteration).
+func DefaultConfig() Config { return parafac2.DefaultConfig() }
+
+// NewIrregular wraps slices (which must share a column count) as an
+// irregular tensor.
+func NewIrregular(slices []*Matrix) (*Irregular, error) { return tensor.NewIrregular(slices) }
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return mat.New(rows, cols) }
+
+// NewMatrixFromData wraps row-major data as a matrix without copying.
+func NewMatrixFromData(rows, cols int, data []float64) *Matrix {
+	return mat.NewFromData(rows, cols, data)
+}
+
+// DPar2 decomposes an irregular dense tensor with the paper's method:
+// two-stage randomized-SVD compression followed by ALS iterations whose
+// per-iteration cost O(JR² + KR³) is independent of the slice heights.
+func DPar2(t *Irregular, cfg Config) (*Result, error) { return parafac2.DPar2(t, cfg) }
+
+// Compress runs only the two-stage compression (lines 2-6 of Algorithm 3),
+// for callers that amortize preprocessing across several decompositions.
+func Compress(t *Irregular, cfg Config) *Compressed { return parafac2.Compress(t, cfg) }
+
+// DPar2FromCompressed runs DPar2's iteration phase on a previously
+// compressed tensor. Result.Fitness is not populated (the input tensor is
+// not available); use Fitness.
+func DPar2FromCompressed(c *Compressed, cfg Config) (*Result, error) {
+	return parafac2.DPar2FromCompressed(c, cfg)
+}
+
+// ALS is the classical PARAFAC2-ALS baseline (Algorithm 2; Kiers et al.
+// 1999): every iteration recomputes against the full input tensor.
+func ALS(t *Irregular, cfg Config) (*Result, error) { return parafac2.ALS(t, cfg) }
+
+// RDALS is the RD-ALS baseline (Cheng & Haardt 2019): deterministic
+// dimensionality reduction once, ALS on the reduced slices, full
+// reconstruction error for convergence.
+func RDALS(t *Irregular, cfg Config) (*Result, error) { return parafac2.RDALS(t, cfg) }
+
+// SPARTan is a SPARTan-style baseline (Perros et al. 2017) adapted to dense
+// data: slice-parallel PARAFAC2-ALS with fused MTTKRP accumulation.
+func SPARTan(t *Irregular, cfg Config) (*Result, error) { return parafac2.SPARTan(t, cfg) }
+
+// Fitness evaluates 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² of a result against a tensor.
+func Fitness(t *Irregular, r *Result) float64 { return parafac2.Fitness(t, r) }
+
+// SliceResiduals returns ‖X_k − X̂_k‖/‖X_k‖ per slice — elevated residuals
+// flag slices the shared factors cannot explain (fault detection, one of
+// PARAFAC2's classical applications).
+func SliceResiduals(t *Irregular, r *Result) []float64 { return parafac2.SliceResiduals(t, r) }
+
+// Anomaly flags one slice singled out by residual analysis.
+type Anomaly = parafac2.Anomaly
+
+// DetectAnomalies ranks slices whose reconstruction residual deviates from
+// the cohort by more than threshold robust z-scores (≈3.5 is conventional).
+func DetectAnomalies(t *Irregular, r *Result, threshold float64) []Anomaly {
+	return parafac2.DetectAnomalies(t, r, threshold)
+}
+
+// FactorMatchScore compares two factor matrices up to column permutation
+// and sign via greedy Tucker-congruence matching (1 = identical components).
+func FactorMatchScore(a, b *Matrix) float64 { return stats.FactorMatchScore(a, b) }
+
+// StreamingDPar2 maintains a PARAFAC2 decomposition over a growing tensor:
+// new slices are absorbed into the compressed representation without
+// recompressing the old ones (the paper's named future-work setting).
+type StreamingDPar2 = parafac2.StreamingDPar2
+
+// NewStreamingDPar2 initializes a stream with a first batch of slices.
+func NewStreamingDPar2(initial *Irregular, cfg Config) (*StreamingDPar2, error) {
+	return parafac2.NewStreamingDPar2(initial, cfg)
+}
+
+// ----- Synthetic data generators (stand-ins for the paper's datasets) -----
+
+// RandomTensor mirrors Tensor Toolbox's tenrand(I, J, K): K equal-height
+// slices with uniform [0,1) entries — the scalability-study workload.
+func RandomTensor(g *RNG, i, j, k int) *Irregular { return datagen.RandomIrregular(g, i, j, k) }
+
+// LowRankTensor builds an irregular tensor with exact PARAFAC2 structure of
+// the given rank plus relative Gaussian noise.
+func LowRankTensor(g *RNG, rows []int, j, rank int, noise float64) *Irregular {
+	return datagen.LowRank(g, rows, j, rank, noise)
+}
+
+// StockMarket parameterizes the market simulator.
+type StockMarket = datagen.StockMarket
+
+// USMarket / KRMarket mirror the two stock datasets of the paper: a
+// developed market where volume tracks price moves, and a higher-volatility
+// market where it does not (the Fig. 12 contrast).
+func USMarket() StockMarket { return datagen.DefaultUSMarket() }
+func KRMarket() StockMarket { return datagen.DefaultKRMarket() }
+
+// NewStockTensor simulates a market of k stocks with listing periods in
+// [minDays, maxDays] drawn long-tailed (Fig. 8), each a (days × 88)
+// feature matrix. It also returns each stock's sector id.
+func NewStockTensor(g *RNG, k, minDays, maxDays int, m StockMarket) (*Irregular, []int) {
+	return datagen.StockTensor(g, k, minDays, maxDays, m)
+}
+
+// StockFeatureNames returns the 88 feature-column labels of stock tensors.
+func StockFeatureNames() []string { return datagen.StockFeatureNames() }
+
+// NewSpectrogramTensor simulates k songs/sounds as log-power spectrograms
+// (time × freqBins), the FMA/Urban stand-in.
+func NewSpectrogramTensor(g *RNG, k, minFrames, maxFrames, freqBins int) *Irregular {
+	return datagen.SpectrogramTensor(g, k, minFrames, maxFrames, freqBins)
+}
+
+// NewVideoFeatureTensor simulates k videos as (frame × feature) matrices,
+// the Activity/Action stand-in.
+func NewVideoFeatureTensor(g *RNG, k, minFrames, maxFrames, features, classes int) *Irregular {
+	return datagen.VideoFeatureTensor(g, k, minFrames, maxFrames, features, classes)
+}
+
+// NewTrafficTensor simulates k days of (sensor × time-of-day) volumes, the
+// Traffic/PEMS-SF stand-in.
+func NewTrafficTensor(g *RNG, k, sensors, timestamps int) *Irregular {
+	return datagen.TrafficTensor(g, k, sensors, timestamps)
+}
+
+// ----- Discovery analytics (Section IV-E) -----
+
+// Pearson returns the Pearson correlation coefficient of two series.
+func Pearson(x, y []float64) float64 { return stats.Pearson(x, y) }
+
+// CorrelationMatrix returns pairwise Pearson correlations between the rows
+// of m (Fig. 12: rows of V are per-feature latent vectors).
+func CorrelationMatrix(m *Matrix) *Matrix { return stats.CorrelationMatrix(m) }
+
+// StockSimilarity is Equation (10): exp(−γ‖U_i − U_j‖_F²).
+func StockSimilarity(ui, uj *Matrix, gamma float64) float64 {
+	return stats.ExpSimilarity(ui, uj, gamma)
+}
+
+// Neighbor pairs an item index with a similarity/RWR score.
+type Neighbor = stats.Neighbor
+
+// KNN returns the k most similar items to query q under the similarity
+// matrix (Table III(a)).
+func KNN(sim *Matrix, q, k int) []Neighbor { return stats.KNN(sim, q, k) }
+
+// RWRConfig configures Random Walk with Restart (restart prob 0.15, 100
+// iterations in the paper).
+type RWRConfig = stats.RWRConfig
+
+// DefaultRWRConfig matches Section IV-E.
+func DefaultRWRConfig() RWRConfig { return stats.DefaultRWRConfig() }
+
+// RWR returns Random-Walk-with-Restart scores over the similarity graph adj
+// from query q (Table III(b)).
+func RWR(adj *Matrix, q int, cfg RWRConfig) []float64 { return stats.RWR(adj, q, cfg) }
+
+// SimilarityGraph builds the Equation (11) adjacency: sim(i,j) off the
+// diagonal, zeros on it.
+func SimilarityGraph(n int, sim func(i, j int) float64) *Matrix {
+	return stats.SimilarityGraph(n, sim)
+}

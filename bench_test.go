@@ -40,6 +40,50 @@ func benchTensor(seed uint64) *tensor.Irregular {
 	return datagen.LowRank(g, rows, 88, 10, 0.05)
 }
 
+// --- Headline: end-to-end DPar2 at the default bench shape -----------------
+
+// BenchmarkDPar2 is the canonical end-to-end wall-time benchmark used by the
+// perf trajectory snapshots (BENCH_*.json): full DPar2 (two-stage compression
+// plus ALS iterations) on the mid-size stock-regime tensor. Run with
+// -benchmem to track the allocation budget.
+func BenchmarkDPar2(b *testing.B) {
+	ten := benchTensor(1)
+	cfg := benchConfig(10)
+	cfg.Tol = 0 // run all iterations for a stable workload
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		res, err := parafac2.DPar2(ten, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit = res.Fitness
+	}
+	b.ReportMetric(fit, "fitness")
+}
+
+// BenchmarkDPar2IterationAllocs isolates the ALS iteration phase on a fixed
+// compressed tensor so allocs/op ÷ iterations gives allocations per ALS
+// iteration (the budget the workspace arena is accountable for).
+func BenchmarkDPar2IterationAllocs(b *testing.B) {
+	ten := benchTensor(1)
+	cfg := benchConfig(10)
+	cfg.Tol = 0
+	comp := parafac2.Compress(ten, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := parafac2.DPar2FromCompressed(comp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iters
+	}
+	b.ReportMetric(float64(iters), "als-iters")
+}
+
 // --- Fig. 1: total running time per method (trade-off) -------------------
 
 func BenchmarkFig1TradeOff(b *testing.B) {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/datagen"
 	"repro/internal/dataio"
 	"repro/internal/experiments"
@@ -78,6 +79,16 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Seed = *seed
 	cfg.TrackConvergence = *verbose
+
+	// One long-lived worker pool of width -threads for the whole run
+	// (clamped to 1 so -threads 0 means serial, matching Config.Threads).
+	width := cfg.Threads
+	if width < 1 {
+		width = 1
+	}
+	pool := compute.NewPool(width)
+	defer pool.Close()
+	cfg.Pool = pool
 
 	var res *parafac2.Result
 	switch strings.ToLower(*method) {

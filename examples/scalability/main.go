@@ -15,6 +15,13 @@ import (
 func main() {
 	cfg := repro.DefaultConfig()
 	cfg.MaxIters = 10
+	// One long-lived worker pool shared by every run below: the workers
+	// (and their warm scratch arenas) are reused instead of being
+	// re-created per decomposition. NewPool(n<=0) means GOMAXPROCS while
+	// Threads<=0 means serial, hence the clamp.
+	pool := repro.NewPool(max(1, cfg.Threads))
+	defer pool.Close()
+	cfg.Pool = pool
 
 	fmt.Println("== running time vs tensor size (I x J x K, rank 10) ==")
 	fmt.Printf("%-16s %12s %14s %8s\n", "size", "DPar2", "PARAFAC2-ALS", "ratio")

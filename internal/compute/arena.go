@@ -1,0 +1,96 @@
+package compute
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Arena bucket layout: bucket b recycles backing slices of capacity exactly
+// 1<<(b+arenaMinBits) float64s. Requests above the largest bucket fall
+// through to plain allocation and are not recycled.
+const (
+	arenaMinBits = 6  // smallest bucket: 64 floats (512 B)
+	arenaMaxBits = 26 // largest bucket: 64M floats (512 MB)
+	arenaBuckets = arenaMaxBits - arenaMinBits + 1
+)
+
+// Arena is a size-bucketed free list of scratch matrices. Get hands out a
+// matrix whose backing slice comes from the bucket of the next power-of-two
+// capacity; Put returns it for reuse. The matrix headers are recycled along
+// with their backing arrays, so a steady-state Get/Put cycle performs zero
+// allocations.
+//
+// The zero value is ready to use and safe for concurrent use. Matrices
+// handed to Put must no longer be referenced by the caller.
+type Arena struct {
+	buckets [arenaBuckets]sync.Pool
+}
+
+var sharedArena Arena
+
+// Shared returns the process-wide arena. Scratch cached here is reclaimed by
+// the garbage collector under memory pressure (sync.Pool semantics), so
+// holding it costs nothing between bursts of work.
+func Shared() *Arena { return &sharedArena }
+
+// bucketFor returns the bucket index whose capacity holds n floats, or -1
+// when n exceeds the largest bucket.
+func bucketFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b < arenaMinBits {
+		return 0
+	}
+	if b > arenaMaxBits {
+		return -1
+	}
+	return b - arenaMinBits
+}
+
+// Get returns a zeroed r-by-c scratch matrix.
+func (a *Arena) Get(r, c int) *mat.Dense {
+	m := a.GetUninit(r, c)
+	m.Zero()
+	return m
+}
+
+// GetUninit returns an r-by-c scratch matrix with undefined contents — for
+// callers that overwrite every element (e.g. as the target of an *Into
+// kernel).
+func (a *Arena) GetUninit(r, c int) *mat.Dense {
+	n := r * c
+	b := bucketFor(n)
+	if b < 0 {
+		return mat.New(r, c)
+	}
+	if v := a.buckets[b].Get(); v != nil {
+		m := v.(*mat.Dense)
+		m.Rows, m.Cols = r, c
+		m.Data = m.Data[:n]
+		return m
+	}
+	data := make([]float64, 1<<(b+arenaMinBits))
+	return &mat.Dense{Rows: r, Cols: c, Data: data[:n]}
+}
+
+// Put returns scratch matrices to the arena. Matrices whose backing capacity
+// is not an exact bucket size (i.e. not produced by Get/GetUninit) are
+// dropped for the garbage collector instead.
+func (a *Arena) Put(ms ...*mat.Dense) {
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		c := cap(m.Data)
+		b := bucketFor(c)
+		if b < 0 || 1<<(b+arenaMinBits) != c {
+			continue
+		}
+		m.Data = m.Data[:c]
+		a.buckets[b].Put(m)
+	}
+}

@@ -312,10 +312,3 @@ func readFloats(r io.Reader, dst []float64) error {
 	}
 	return nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

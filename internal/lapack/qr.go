@@ -2,9 +2,11 @@
 // scratch: Householder thin QR, one-sided Jacobi SVD (with QR pre-reduction
 // for tall matrices), truncated SVD, and the Moore-Penrose pseudoinverse.
 //
-// The implementations favor numerical robustness and clarity over raw speed:
-// every SVD DPar2 performs after stage-1 compression is on an R-by-R or
-// (R+s)-by-J matrix, where Jacobi converges in a handful of sweeps.
+// The implementations favor numerical robustness and clarity over raw speed,
+// but the inner loops are laid out for the cache: QR and Jacobi both work on
+// column-major scratch so every Householder/rotation pass is contiguous, and
+// the small per-iteration SVDs of the ALS hot loop have allocation-free
+// entry points (FactorInto) backed by reusable workspaces.
 package lapack
 
 import (
@@ -22,21 +24,36 @@ type QR struct {
 
 // QRFactor computes the thin QR factorization of a (m-by-n, m >= n) using
 // Householder reflections. a is not modified.
+//
+// The factorization works on a column-major copy so the reflector
+// construction and application loops stream contiguous memory; the floating
+// point operation order is identical to the textbook row-major formulation.
 func QRFactor(a *mat.Dense) QR {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic("lapack: QRFactor requires rows >= cols")
 	}
-	// Work on a copy; w becomes R in its upper triangle while the
-	// reflectors are stored below the diagonal (LAPACK style).
-	w := a.Clone()
+	// Column-major working copy; column k becomes R's column in its first k
+	// entries while the reflector tail is stored below (LAPACK style).
+	buf := make([]float64, m*n)
+	w := make([][]float64, n)
+	for j := range w {
+		w[j] = buf[j*m : (j+1)*m]
+	}
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			w[j][i] = v
+		}
+	}
 	betas := make([]float64, n)
 
 	for k := 0; k < n; k++ {
+		ck := w[k]
 		// Build the Householder vector for column k below row k.
 		var normx float64
 		for i := k; i < m; i++ {
-			v := w.At(i, k)
+			v := ck[i]
 			normx += v * v
 		}
 		normx = math.Sqrt(normx)
@@ -44,7 +61,7 @@ func QRFactor(a *mat.Dense) QR {
 			betas[k] = 0
 			continue
 		}
-		alpha := w.At(k, k)
+		alpha := ck[k]
 		s := normx
 		if alpha > 0 {
 			s = -normx
@@ -52,14 +69,13 @@ func QRFactor(a *mat.Dense) QR {
 		// v = x - s*e1, normalized so v[0] = 1.
 		v0 := alpha - s
 		betas[k] = -v0 / s // beta = 2 / (vᵀv) with v[0]=1 scaling works out to this
-		// Store the reflector tail scaled by 1/v0 below the diagonal.
 		if v0 != 0 {
 			inv := 1 / v0
 			for i := k + 1; i < m; i++ {
-				w.Set(i, k, w.At(i, k)*inv)
+				ck[i] *= inv
 			}
 		}
-		w.Set(k, k, s)
+		ck[k] = s
 
 		// Apply the reflector to the remaining columns:
 		// A := (I - beta v vᵀ) A for columns k+1..n-1.
@@ -68,48 +84,60 @@ func QRFactor(a *mat.Dense) QR {
 			continue
 		}
 		for j := k + 1; j < n; j++ {
-			// dot = vᵀ A(:,j) with v = [1; w(k+1..m-1, k)]
-			dot := w.At(k, j)
+			cj := w[j]
+			dot := cj[k]
 			for i := k + 1; i < m; i++ {
-				dot += w.At(i, k) * w.At(i, j)
+				dot += ck[i] * cj[i]
 			}
 			dot *= beta
-			w.Set(k, j, w.At(k, j)-dot)
+			cj[k] -= dot
 			for i := k + 1; i < m; i++ {
-				w.Set(i, j, w.At(i, j)-dot*w.At(i, k))
+				cj[i] -= dot * ck[i]
 			}
 		}
 	}
 
-	// Extract R.
+	// Extract R from the upper triangles of the columns.
 	r := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			r.Set(i, j, w.At(i, j))
+	for j := 0; j < n; j++ {
+		cj := w[j]
+		for i := 0; i <= j; i++ {
+			r.Data[i*n+j] = cj[i]
 		}
 	}
 
 	// Form thin Q by applying the reflectors to the first n columns of I,
-	// in reverse order.
-	q := mat.New(m, n)
-	for j := 0; j < n; j++ {
-		q.Set(j, j, 1)
+	// in reverse order, again in column-major scratch.
+	qbuf := make([]float64, m*n)
+	qc := make([][]float64, n)
+	for j := range qc {
+		qc[j] = qbuf[j*m : (j+1)*m]
+		qc[j][j] = 1
 	}
 	for k := n - 1; k >= 0; k-- {
 		beta := betas[k]
 		if beta == 0 {
 			continue
 		}
+		ck := w[k]
 		for j := 0; j < n; j++ {
-			dot := q.At(k, j)
+			cj := qc[j]
+			dot := cj[k]
 			for i := k + 1; i < m; i++ {
-				dot += w.At(i, k) * q.At(i, j)
+				dot += ck[i] * cj[i]
 			}
 			dot *= beta
-			q.Set(k, j, q.At(k, j)-dot)
+			cj[k] -= dot
 			for i := k + 1; i < m; i++ {
-				q.Set(i, j, q.At(i, j)-dot*w.At(i, k))
+				cj[i] -= dot * ck[i]
 			}
+		}
+	}
+	q := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		row := q.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = qc[j][i]
 		}
 	}
 	return QR{Q: q, R: r}

@@ -2,7 +2,7 @@ package lapack
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -23,6 +23,46 @@ const jacobiSweepTol = 1e-12
 // far more than needed for float64.
 const maxJacobiSweeps = 30
 
+// Workspace holds the scratch buffers for repeated small SVDs so the ALS
+// hot loop (one R×R SVD per slice per iteration) allocates nothing in steady
+// state. A Workspace is not safe for concurrent use; FactorInto with a nil
+// workspace draws one from an internal pool, which is the common pattern for
+// parallel callers.
+type Workspace struct {
+	buf   []float64   // backing for the working columns and rotation columns
+	wcols [][]float64 // n working columns of length m
+	vcols [][]float64 // n rotation columns of length n
+	perm  []int
+	sigma []float64
+}
+
+var workspacePool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// reserve sizes the workspace for an m×n Jacobi problem.
+func (ws *Workspace) reserve(m, n int) {
+	need := n * (m + n)
+	if cap(ws.buf) < need {
+		ws.buf = make([]float64, need)
+	}
+	ws.buf = ws.buf[:need]
+	if cap(ws.wcols) < n {
+		ws.wcols = make([][]float64, n)
+		ws.vcols = make([][]float64, n)
+	}
+	ws.wcols = ws.wcols[:n]
+	ws.vcols = ws.vcols[:n]
+	for j := 0; j < n; j++ {
+		ws.wcols[j] = ws.buf[j*m : (j+1)*m]
+		ws.vcols[j] = ws.buf[n*m+j*n : n*m+(j+1)*n]
+	}
+	if cap(ws.perm) < n {
+		ws.perm = make([]int, n)
+		ws.sigma = make([]float64, n)
+	}
+	ws.perm = ws.perm[:n]
+	ws.sigma = ws.sigma[:n]
+}
+
 // Factor computes the thin SVD of a. It does not modify a.
 //
 // Strategy: one-sided Jacobi orthogonalizes the columns of a working copy W,
@@ -30,42 +70,94 @@ const maxJacobiSweeps = 30
 // the singular values and the normalized columns form U. For tall matrices
 // (m > n) a QR pre-reduction shrinks the Jacobi problem to n-by-n; for wide
 // matrices we factor the transpose and swap U and V.
-func Factor(a *mat.Dense) SVD {
+func Factor(a *mat.Dense) SVD { return FactorWith(a, nil) }
+
+// FactorWith is Factor with the large multiplies of the tall path run on rn
+// (nil means serial). The result is identical for any Runner width.
+func FactorWith(a *mat.Dense, rn mat.Runner) SVD {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		s := Factor(a.T())
+		s := FactorWith(a.T(), rn)
 		return SVD{U: s.V, S: s.S, V: s.U}
 	}
 	if m > n*2 || m > n+32 {
 		// Tall: A = Q R, SVD(R) = Ur S Vᵀ, so A = (Q Ur) S Vᵀ.
 		qr := QRFactor(a)
 		inner := jacobiSVD(qr.R)
-		return SVD{U: qr.Q.Mul(inner.U), S: inner.S, V: inner.V}
+		u := qr.Q.MulInto(mat.New(m, n), inner.U, rn)
+		return SVD{U: u, S: inner.S, V: inner.V}
 	}
 	return jacobiSVD(a)
 }
 
-// jacobiSVD runs one-sided Jacobi on a (m >= n required by callers).
-func jacobiSVD(a *mat.Dense) SVD {
+// FactorInto computes the thin SVD of a (which must satisfy a.Rows >=
+// a.Cols) directly into the preallocated outputs: u is a.Rows×a.Cols, s has
+// length a.Cols, v is a.Cols×a.Cols. ws may be nil, in which case a pooled
+// workspace is used. a is not modified. In steady state the call performs no
+// allocations — this is the entry point for the per-slice R×R SVDs of the
+// ALS iteration.
+func FactorInto(a *mat.Dense, u *mat.Dense, s []float64, v *mat.Dense, ws *Workspace) {
 	m, n := a.Rows, a.Cols
-	// Work column-major: w[j] is column j of the evolving matrix.
-	w := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		w[j] = a.Col(j)
+	if m < n {
+		panic("lapack: FactorInto requires rows >= cols")
 	}
-	v := mat.Identity(n)
-	vcols := make([][]float64, n)
+	if u.Rows != m || u.Cols != n || len(s) != n || v.Rows != n || v.Cols != n {
+		panic("lapack: FactorInto output shape mismatch")
+	}
+	if ws == nil {
+		pooled := workspacePool.Get().(*Workspace)
+		defer workspacePool.Put(pooled)
+		ws = pooled
+	}
+	jacobiInto(a, u, s, v, ws)
+}
+
+// jacobiSVD runs one-sided Jacobi on a (m >= n required by callers),
+// allocating fresh outputs.
+func jacobiSVD(a *mat.Dense) SVD {
+	u := mat.New(a.Rows, a.Cols)
+	s := make([]float64, a.Cols)
+	v := mat.New(a.Cols, a.Cols)
+	FactorInto(a, u, s, v, nil)
+	return SVD{U: u, S: s, V: v}
+}
+
+// jacobiInto is the one-sided Jacobi core: orthogonalize the columns of a
+// working copy of a, accumulate rotations, and write U, S, V into the
+// provided outputs.
+func jacobiInto(a *mat.Dense, u *mat.Dense, sOut []float64, vOut *mat.Dense, ws *Workspace) {
+	m, n := a.Rows, a.Cols
+	ws.reserve(m, n)
+	w := ws.wcols
+	v := ws.vcols
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, val := range row {
+			w[j][i] = val
+		}
+	}
 	for j := 0; j < n; j++ {
-		vcols[j] = v.Col(j)
+		vc := v[j]
+		for i := range vc {
+			vc[i] = 0
+		}
+		vc[j] = 1
 	}
 
 	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
 		rotated := false
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				alpha := mat.Dot(w[p], w[p])
-				beta := mat.Dot(w[q], w[q])
-				gamma := mat.Dot(w[p], w[q])
+				wp, wq := w[p], w[q]
+				// One fused pass for the three column moments (the three
+				// accumulators keep their individual summation orders).
+				var alpha, beta, gamma float64
+				for i, wpv := range wp {
+					wqv := wq[i]
+					alpha += wpv * wpv
+					beta += wqv * wqv
+					gamma += wpv * wqv
+				}
 				// Standard one-sided Jacobi convergence criterion:
 				// skip the rotation when the columns are already
 				// numerically orthogonal relative to their norms.
@@ -82,13 +174,12 @@ func jacobiSVD(a *mat.Dense) SVD {
 				}
 				c := 1 / math.Sqrt(1+t*t)
 				s := c * t
-				wp, wq := w[p], w[q]
 				for i := 0; i < m; i++ {
 					tp := wp[i]
 					wp[i] = c*tp - s*wq[i]
 					wq[i] = s*tp + c*wq[i]
 				}
-				vp, vq := vcols[p], vcols[q]
+				vp, vq := v[p], v[q]
 				for i := 0; i < n; i++ {
 					tp := vp[i]
 					vp[i] = c*tp - s*vq[i]
@@ -101,46 +192,52 @@ func jacobiSVD(a *mat.Dense) SVD {
 		}
 	}
 
-	// Singular values = column norms; U = normalized columns.
-	type col struct {
-		sigma float64
-		idx   int
-	}
-	cols := make([]col, n)
+	// Singular values = column norms, sorted descending. Stable insertion
+	// sort: n is small (rank-sized) and, unlike sort.SliceStable, it does
+	// not allocate — this runs once per slice per ALS iteration.
+	perm, sigma := ws.perm, ws.sigma
 	for j := 0; j < n; j++ {
-		cols[j] = col{sigma: mat.Norm2(w[j]), idx: j}
+		sigma[j] = mat.Norm2(w[j])
+		perm[j] = j
 	}
-	sort.SliceStable(cols, func(i, j int) bool { return cols[i].sigma > cols[j].sigma })
+	for i := 1; i < n; i++ {
+		p := perm[i]
+		j := i - 1
+		for ; j >= 0 && sigma[perm[j]] < sigma[p]; j-- {
+			perm[j+1] = perm[j]
+		}
+		perm[j+1] = p
+	}
 
-	u := mat.New(m, n)
-	vout := mat.New(n, n)
-	s := make([]float64, n)
 	tiny := 0.0
-	if len(cols) > 0 {
-		tiny = cols[0].sigma * 1e-14
+	if n > 0 {
+		tiny = sigma[perm[0]] * 1e-14
 	}
 	var deficient []int
-	for jOut, c := range cols {
-		s[jOut] = c.sigma
-		src := w[c.idx]
-		if c.sigma > tiny && c.sigma > 0 {
-			inv := 1 / c.sigma
+	for jOut, src := range perm {
+		sv := sigma[src]
+		sOut[jOut] = sv
+		wc := w[src]
+		if sv > tiny && sv > 0 {
+			inv := 1 / sv
 			for i := 0; i < m; i++ {
-				u.Set(i, jOut, src[i]*inv)
+				u.Data[i*n+jOut] = wc[i] * inv
 			}
 		} else {
+			for i := 0; i < m; i++ {
+				u.Data[i*n+jOut] = 0
+			}
 			deficient = append(deficient, jOut)
 		}
-		vc := vcols[c.idx]
+		vc := v[src]
 		for i := 0; i < n; i++ {
-			vout.Set(i, jOut, vc[i])
+			vOut.Data[i*n+jOut] = vc[i]
 		}
 	}
 	// Complete zero columns of U to an orthonormal set so UᵀU = I holds
 	// even for rank-deficient input (the thin-SVD contract our callers,
 	// in particular the Qk update of PARAFAC2, rely on).
 	completeOrthonormal(u, deficient)
-	return SVD{U: u, S: s, V: vout}
 }
 
 // completeOrthonormal fills the listed (currently zero) columns of u with
@@ -195,8 +292,12 @@ func completeOrthonormal(u *mat.Dense, cols []int) {
 
 // Truncated computes the rank-r truncated SVD of a (keeps the r largest
 // singular triplets). If r >= min(m,n) it is the full thin SVD.
-func Truncated(a *mat.Dense, r int) SVD {
-	full := Factor(a)
+func Truncated(a *mat.Dense, r int) SVD { return TruncatedWith(a, r, nil) }
+
+// TruncatedWith is Truncated with the heavy multiplies run on rn (nil means
+// serial).
+func TruncatedWith(a *mat.Dense, r int, rn mat.Runner) SVD {
+	full := FactorWith(a, rn)
 	k := len(full.S)
 	if r >= k {
 		return full

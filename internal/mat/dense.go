@@ -158,24 +158,9 @@ func (m *Dense) SetSubMatrix(r0, c0 int, src *Dense) {
 	}
 }
 
-// T returns the transpose as a new matrix.
+// T returns the transpose as a new matrix (blocked for cache friendliness).
 func (m *Dense) T() *Dense {
-	t := New(m.Cols, m.Rows)
-	// Block the transpose for cache friendliness on large matrices.
-	const bs = 32
-	for ii := 0; ii < m.Rows; ii += bs {
-		iMax := min(ii+bs, m.Rows)
-		for jj := 0; jj < m.Cols; jj += bs {
-			jMax := min(jj+bs, m.Cols)
-			for i := ii; i < iMax; i++ {
-				row := m.Data[i*m.Cols : (i+1)*m.Cols]
-				for j := jj; j < jMax; j++ {
-					t.Data[j*m.Rows+i] = row[j]
-				}
-			}
-		}
-	}
-	return t
+	return m.TInto(New(m.Cols, m.Rows))
 }
 
 // Add returns m + b.
@@ -259,6 +244,23 @@ func (m *Dense) ScaleColumns(s []float64) *Dense {
 	return out
 }
 
+// ScaleColumnsInto computes out = m * diag(s) and returns out. out must
+// match m's shape; aliasing out with m is allowed.
+func (m *Dense) ScaleColumnsInto(out *Dense, s []float64) *Dense {
+	if len(s) != m.Cols {
+		panic("mat: ScaleColumnsInto length mismatch")
+	}
+	checkSameShape("ScaleColumnsInto", out, m)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, sv := range s {
+			dst[j] = src[j] * sv
+		}
+	}
+	return out
+}
+
 // ScaleRows returns diag(s) * m.
 func (m *Dense) ScaleRows(s []float64) *Dense {
 	if len(s) != m.Rows {
@@ -270,6 +272,55 @@ func (m *Dense) ScaleRows(s []float64) *Dense {
 		sv := s[i]
 		for j := range row {
 			row[j] *= sv
+		}
+	}
+	return out
+}
+
+// ScaleRowsInto computes out = diag(s) * m and returns out. out must match
+// m's shape; aliasing out with m is allowed.
+func (m *Dense) ScaleRowsInto(out *Dense, s []float64) *Dense {
+	if len(s) != m.Rows {
+		panic("mat: ScaleRowsInto length mismatch")
+	}
+	checkSameShape("ScaleRowsInto", out, m)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		sv := s[i]
+		for j, v := range src {
+			dst[j] = v * sv
+		}
+	}
+	return out
+}
+
+// HadamardInPlace sets m ∗= b element-wise and returns m.
+func (m *Dense) HadamardInPlace(b *Dense) *Dense {
+	checkSameShape("HadamardInPlace", m, b)
+	for i, v := range b.Data {
+		m.Data[i] *= v
+	}
+	return m
+}
+
+// TInto writes mᵀ into out and returns out. out must be m.Cols×m.Rows and
+// must not alias m.
+func (m *Dense) TInto(out *Dense) *Dense {
+	if out.Rows != m.Cols || out.Cols != m.Rows {
+		panic("mat: TInto shape mismatch")
+	}
+	const bs = 32
+	for ii := 0; ii < m.Rows; ii += bs {
+		iMax := min(ii+bs, m.Rows)
+		for jj := 0; jj < m.Cols; jj += bs {
+			jMax := min(jj+bs, m.Cols)
+			for i := ii; i < iMax; i++ {
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				for j := jj; j < jMax; j++ {
+					out.Data[j*m.Rows+i] = row[j]
+				}
+			}
 		}
 	}
 	return out
@@ -384,11 +435,4 @@ func checkSameShape(op string, a, b *Dense) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

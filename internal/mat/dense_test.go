@@ -380,19 +380,6 @@ func TestDotAndNorm2(t *testing.T) {
 	}
 }
 
-func TestSetParallelism(t *testing.T) {
-	old := Parallelism()
-	SetParallelism(3)
-	if Parallelism() != 3 {
-		t.Fatal("SetParallelism did not stick")
-	}
-	SetParallelism(0)
-	if Parallelism() < 1 {
-		t.Fatal("default parallelism invalid")
-	}
-	SetParallelism(old)
-}
-
 // Property-based tests via testing/quick.
 
 func TestQuickTransposeInvolution(t *testing.T) {

@@ -1,0 +1,219 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// naiveMul is the reference triple loop every blocked/fused kernel is
+// checked against.
+func naiveMul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// chunkedRunner implements Runner with a fixed width, running chunks
+// sequentially — exercises the parallel code paths deterministically.
+type chunkedRunner struct{ width int }
+
+func (c chunkedRunner) Workers() int { return c.width }
+
+func (c chunkedRunner) ParallelRanges(n int, fn func(lo, hi int)) {
+	w := c.width
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
+// oddShapes covers the ragged cases that break blocked kernels: vectors,
+// single elements, sizes straddling the unroll factor (4) and the
+// parallel-gating thresholds (64, 128).
+var oddShapes = [][2]int{
+	{1, 1}, {1, 7}, {7, 1}, {2, 3}, {3, 4}, {4, 4}, {5, 5},
+	{1, 65}, {65, 1}, {63, 5}, {64, 5}, {65, 5}, {127, 3}, {128, 3}, {129, 3},
+	{10, 88}, {31, 17},
+}
+
+func TestKernelMulMatchesNaive(t *testing.T) {
+	g := rng.New(1)
+	for _, sa := range oddShapes {
+		for _, inner := range []int{1, 2, 3, 4, 5, 8, 13} {
+			a := Gaussian(g, sa[0], inner)
+			b := Gaussian(g, inner, sa[1])
+			want := naiveMul(a, b)
+			if !a.Mul(b).EqualApprox(want, 1e-12) {
+				t.Fatalf("Mul mismatch at %dx%dx%d", sa[0], inner, sa[1])
+			}
+			got := a.MulInto(New(sa[0], sa[1]), b, chunkedRunner{3})
+			if !got.EqualApprox(want, 1e-12) {
+				t.Fatalf("MulInto(runner) mismatch at %dx%dx%d", sa[0], inner, sa[1])
+			}
+		}
+	}
+}
+
+func TestKernelMulTMatchesNaive(t *testing.T) {
+	g := rng.New(2)
+	for _, sa := range oddShapes {
+		for _, inner := range []int{1, 3, 4, 7} {
+			a := Gaussian(g, sa[0], inner)
+			b := Gaussian(g, sa[1], inner) // b rows become output columns
+			want := naiveMul(a, b.T())
+			if !a.MulT(b).EqualApprox(want, 1e-12) {
+				t.Fatalf("MulT mismatch at %dx%d·(%dx%d)ᵀ", sa[0], inner, sa[1], inner)
+			}
+			got := a.MulTInto(New(sa[0], sa[1]), b, chunkedRunner{3})
+			if !got.EqualApprox(want, 1e-12) {
+				t.Fatalf("MulTInto(runner) mismatch at %dx%d", sa[0], sa[1])
+			}
+		}
+	}
+}
+
+func TestKernelTMulMatchesNaive(t *testing.T) {
+	g := rng.New(3)
+	for _, sa := range oddShapes {
+		for _, cols := range []int{1, 3, 4, 6} {
+			a := Gaussian(g, sa[0], cols)
+			b := Gaussian(g, sa[0], sa[1])
+			want := naiveMul(a.T(), b)
+			if !a.TMul(b).EqualApprox(want, 1e-12) {
+				t.Fatalf("TMul mismatch at (%dx%d)ᵀ·%dx%d", sa[0], cols, sa[0], sa[1])
+			}
+			// Exercise both the serial and the partial-reduction path.
+			for _, w := range []int{2, 3, 7} {
+				got := a.TMulInto(New(cols, sa[1]), b, chunkedRunner{w})
+				if !got.EqualApprox(want, 1e-12) {
+					t.Fatalf("TMulInto(width=%d) mismatch at (%dx%d)ᵀ·%dx%d", w, sa[0], cols, sa[0], sa[1])
+				}
+			}
+		}
+	}
+}
+
+func TestKernelGramMatchesNaive(t *testing.T) {
+	g := rng.New(4)
+	for _, sa := range oddShapes {
+		a := Gaussian(g, sa[0], sa[1])
+		want := naiveMul(a.T(), a)
+		got := a.Gram()
+		if !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("Gram mismatch at %dx%d", sa[0], sa[1])
+		}
+		// Up to tmulChunk rows Gram shares TMul(self)'s accumulation
+		// order exactly; beyond that TMul reduces block partials and
+		// only approximate agreement is guaranteed.
+		tm := a.TMul(a)
+		if sa[0] <= tmulChunk {
+			for i, v := range got.Data {
+				if v != tm.Data[i] {
+					t.Fatalf("Gram not bitwise equal to TMul(self) at %dx%d index %d", sa[0], sa[1], i)
+				}
+			}
+		} else if !got.EqualApprox(tm, 1e-12) {
+			t.Fatalf("Gram disagrees with TMul(self) at %dx%d", sa[0], sa[1])
+		}
+	}
+}
+
+func TestKernelVecIntoMatchesAlloc(t *testing.T) {
+	g := rng.New(5)
+	a := Gaussian(g, 37, 11)
+	x := make([]float64, 11)
+	y := make([]float64, 37)
+	gg := rng.New(6)
+	gg.NormSlice(x)
+	gg.NormSlice(y)
+	got := a.MulVecInto(make([]float64, 37), x)
+	want := a.MulVec(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("MulVecInto mismatch")
+		}
+	}
+	got2 := a.TMulVecInto(make([]float64, 11), y)
+	want2 := a.TMulVec(y)
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatal("TMulVecInto mismatch")
+		}
+	}
+}
+
+func TestKernelScaleIntoVariants(t *testing.T) {
+	g := rng.New(7)
+	a := Gaussian(g, 9, 5)
+	s := []float64{2, -1, 0.5, 3, -0.25}
+	want := a.ScaleColumns(s)
+	if !a.ScaleColumnsInto(New(9, 5), s).EqualApprox(want, 0) {
+		t.Fatal("ScaleColumnsInto mismatch")
+	}
+	aliased := a.Clone()
+	if !aliased.ScaleColumnsInto(aliased, s).EqualApprox(want, 0) {
+		t.Fatal("aliased ScaleColumnsInto mismatch")
+	}
+	r := []float64{1, -2, 0, 4, 0.5, 7, -3, 2, 9}
+	wantR := a.ScaleRows(r)
+	if !a.ScaleRowsInto(New(9, 5), r).EqualApprox(wantR, 0) {
+		t.Fatal("ScaleRowsInto mismatch")
+	}
+	b := Gaussian(g, 9, 5)
+	wantH := a.Hadamard(b)
+	if !a.Clone().HadamardInPlace(b).EqualApprox(wantH, 0) {
+		t.Fatal("HadamardInPlace mismatch")
+	}
+	if !a.TInto(New(5, 9)).EqualApprox(a.T(), 0) {
+		t.Fatal("TInto mismatch")
+	}
+}
+
+func TestQuickKernelsAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		m := 1 + g.Intn(140)
+		k := 1 + g.Intn(20)
+		n := 1 + g.Intn(20)
+		a := Gaussian(g, m, k)
+		b := Gaussian(g, k, n)
+		if !a.Mul(b).EqualApprox(naiveMul(a, b), 1e-10) {
+			return false
+		}
+		c := Gaussian(g, m, n)
+		if !a.TMul(c).EqualApprox(naiveMul(a.T(), c), 1e-10) {
+			return false
+		}
+		d := Gaussian(g, n, k)
+		if !a.MulT(d).EqualApprox(naiveMul(a, d.T()), 1e-10) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package parafac2
 import (
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/lapack"
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -22,6 +23,8 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
+	pool, done := cfg.runtimePool()
+	defer done()
 	start := time.Now()
 	g := rng.New(cfg.Seed)
 	r := cfg.Rank
@@ -39,11 +42,11 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
 		res.Iters = it + 1
-		updateQALS(t, h, v, s, q, cfg.threads())
+		updateQALS(t, h, v, s, q, pool)
 
 		// Build the projected tensor Y_k = Q_kᵀ X_k (R × J).
 		ySlices := make([]*mat.Dense, k)
-		scheduler.ParallelFor(k, cfg.threads(), func(kk int) {
+		pool.ParallelFor(k, func(kk int) {
 			ySlices[kk] = q[kk].TMul(t.Slices[kk])
 		})
 		y := tensor.MustDense3(ySlices)
@@ -53,7 +56,7 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 
 		// Convergence: full reconstruction error (this is what makes the
 		// baseline's per-iteration cost high — Section IV-B).
-		cur := reconstructionError2(t, q, h, v, s)
+		cur := reconstructionError2(t, q, h, v, s, pool)
 		if cfg.TrackConvergence {
 			res.ConvergenceTrace = append(res.ConvergenceTrace, cur)
 		}
@@ -71,21 +74,27 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 
 	res.H, res.V, res.Q = h, v, q
 	res.TotalTime = time.Since(start)
-	res.Fitness = Fitness(t, res)
+	res.Fitness = fitnessWith(t, res, pool)
 	return res, nil
 }
 
 // updateQALS refreshes every Q_k: Q_k ← Z'_k P'_kᵀ where
 // Z'_k Σ' P'_kᵀ = SVD(X_k V S_k Hᵀ) truncated at rank R (lines 4-5, Alg. 2).
 // This is the polar-factor solution of the orthogonal Procrustes problem.
-func updateQALS(t *tensor.Irregular, h, v *mat.Dense, s [][]float64, q []*mat.Dense, threads int) {
+func updateQALS(t *tensor.Irregular, h, v *mat.Dense, s [][]float64, q []*mat.Dense, pool *compute.Pool) {
 	r := h.Rows
+	arena := compute.Shared()
 	// VS_kHᵀ is J×R; precompute V once per k with the diagonal folded in.
-	scheduler.RunPartitioned(scheduler.Partition(t.Rows(), threads), func(k int) {
-		vsh := v.ScaleColumns(s[k]).MulT(h) // J × R
-		m := t.Slices[k].Mul(vsh)           // I_k × R
+	pool.RunPartitioned(scheduler.Partition(t.Rows(), pool.Workers()), func(k int) {
+		vs := arena.GetUninit(v.Rows, v.Cols)
+		v.ScaleColumnsInto(vs, s[k])
+		vsh := arena.GetUninit(v.Rows, h.Rows)
+		vs.MulTInto(vsh, h, nil) // J × R
+		m := arena.GetUninit(t.Slices[k].Rows, vsh.Cols)
+		t.Slices[k].MulInto(m, vsh, nil) // I_k × R
 		d := lapack.Truncated(m, r)
 		q[k] = d.U.MulT(d.V) // Z'_k P'_kᵀ, I_k × R, column orthonormal
+		arena.Put(vs, vsh, m)
 	})
 }
 
@@ -97,29 +106,41 @@ func cpSweep(y *tensor.Dense3, h, v *mat.Dense, s [][]float64, cfg Config) (hOut
 
 	// H ← Y(1)(W ⊙ V)(WᵀW ∗ VᵀV)⁺
 	g1 := y.MTTKRP(1, w, v)
-	h = solveUpdate(g1, w.TMul(w).Hadamard(v.TMul(v)), cfg)
+	h = solveUpdate(g1, w.Gram().HadamardInPlace(v.Gram()), cfg)
 
 	// V ← Y(2)(W ⊙ H)(WᵀW ∗ HᵀH)⁺
 	g2 := y.MTTKRP(2, w, h)
-	v = solveUpdate(g2, w.TMul(w).Hadamard(h.TMul(h)), cfg)
+	v = solveUpdate(g2, w.Gram().HadamardInPlace(h.Gram()), cfg)
 
 	// W ← Y(3)(V ⊙ H)(VᵀV ∗ HᵀH)⁺
 	g3 := y.MTTKRP(3, v, h)
-	w = solveUpdate(g3, v.TMul(v).Hadamard(h.TMul(h)), cfg)
+	w = solveUpdate(g3, v.Gram().HadamardInPlace(h.Gram()), cfg)
 	projectW(w, cfg)
 	unpackW(w, s)
 
 	return h, v
 }
 
-// reconstructionError2 computes Σ_k ‖X_k − Q_k H S_k Vᵀ‖_F² by touching
-// every input element.
-func reconstructionError2(t *tensor.Irregular, q []*mat.Dense, h, v *mat.Dense, s [][]float64) float64 {
-	var sum float64
-	for k, xk := range t.Slices {
-		rec := q[k].Mul(h.ScaleColumns(s[k])).MulT(v)
+// reconstructionError2 computes Σ_k ‖X_k − Q_k H S_k Vᵀ‖_F², touching every
+// input element — parallel over slices, reduced in slice order.
+func reconstructionError2(t *tensor.Irregular, q []*mat.Dense, h, v *mat.Dense, s [][]float64, pool *compute.Pool) float64 {
+	arena := compute.Shared()
+	errs := make([]float64, t.K())
+	pool.ParallelFor(t.K(), func(kk int) {
+		xk := t.Slices[kk]
+		hs := arena.GetUninit(h.Rows, h.Cols)
+		h.ScaleColumnsInto(hs, s[kk])
+		qh := arena.GetUninit(q[kk].Rows, hs.Cols)
+		q[kk].MulInto(qh, hs, nil)
+		rec := arena.GetUninit(xk.Rows, xk.Cols)
+		qh.MulTInto(rec, v, nil)
 		d := xk.FrobDist(rec)
-		sum += d * d
+		errs[kk] = d * d
+		arena.Put(hs, qh, rec)
+	})
+	var sum float64
+	for _, e := range errs {
+		sum += e
 	}
 	return sum
 }

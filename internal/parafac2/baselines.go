@@ -3,6 +3,7 @@ package parafac2
 import (
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/lapack"
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -29,6 +30,8 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
+	pool, done := cfg.runtimePool()
+	defer done()
 	start := time.Now()
 	r := cfg.Rank
 	k := t.K()
@@ -39,11 +42,11 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 		concat[kk] = s.T()
 	}
 	wide := mat.HConcat(concat...) // J × ΣI_k
-	svd := lapack.Truncated(wide, r)
+	svd := lapack.TruncatedWith(wide, r, pool)
 	uc := svd.U // J × R, column orthonormal
 
 	reduced := make([]*mat.Dense, k)
-	scheduler.RunPartitioned(scheduler.Partition(t.Rows(), cfg.threads()), func(kk int) {
+	pool.RunPartitioned(scheduler.Partition(t.Rows(), pool.Workers()), func(kk int) {
 		reduced[kk] = t.Slices[kk].Mul(uc) // I_k × R
 	})
 	rt := tensor.MustIrregular(reduced)
@@ -63,10 +66,10 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
 		res.Iters = it + 1
-		updateQALS(rt, h, vTilde, s, q, cfg.threads())
+		updateQALS(rt, h, vTilde, s, q, pool)
 
 		ySlices := make([]*mat.Dense, k)
-		scheduler.ParallelFor(k, cfg.threads(), func(kk int) {
+		pool.ParallelFor(k, func(kk int) {
 			ySlices[kk] = q[kk].TMul(rt.Slices[kk])
 		})
 		y := tensor.MustDense3(ySlices)
@@ -75,7 +78,7 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 		// Convergence on the FULL reconstruction error (the defining
 		// inefficiency of RD-ALS's iteration phase).
 		vFull := uc.Mul(vTilde)
-		cur := reconstructionError2(t, q, h, vFull, s)
+		cur := reconstructionError2(t, q, h, vFull, s, pool)
 		if cfg.TrackConvergence {
 			res.ConvergenceTrace = append(res.ConvergenceTrace, cur)
 		}
@@ -93,7 +96,7 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 
 	res.H, res.V, res.Q = h, uc.Mul(vTilde), q
 	res.TotalTime = time.Since(start)
-	res.Fitness = Fitness(t, res)
+	res.Fitness = fitnessWith(t, res, pool)
 	return res, nil
 }
 
@@ -108,11 +111,12 @@ func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
+	pool, done := cfg.runtimePool()
+	defer done()
 	start := time.Now()
 	g := rng.New(cfg.Seed)
 	r := cfg.Rank
 	k := t.K()
-	threads := cfg.threads()
 
 	h, v, s := initCommon(g, t.J, k, r)
 	q := make([]*mat.Dense, k)
@@ -123,27 +127,27 @@ func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
 		res.Iters = it + 1
-		updateQALS(t, h, v, s, q, threads)
+		updateQALS(t, h, v, s, q, pool)
 
 		// Slice-parallel fused MTTKRP accumulation: each worker owns a
 		// block of slices and accumulates partial G⁽¹⁾/G⁽²⁾/G⁽³⁾ without
 		// ever materializing Y. The Y_k = Q_kᵀ X_k projection is fused in.
 		w := wMatrix(s)
 
-		g1, g2, g3, ySlices := spartanMTTKRP(t, q, w, v, h, threads)
+		g1, g2, g3, ySlices := spartanMTTKRP(t, q, w, v, h, pool)
 
-		h = solveUpdate(g1, w.TMul(w).Hadamard(v.TMul(v)), cfg)
+		h = solveUpdate(g1, w.Gram().HadamardInPlace(v.Gram()), cfg)
 		// Recompute mode-2/3 with the updated H for ALS correctness; the
 		// fused pass returned Y so these are cheap (R×J slices).
 		y := tensor.MustDense3(ySlices)
 		g2 = y.MTTKRP(2, w, h)
-		v = solveUpdate(g2, w.TMul(w).Hadamard(h.TMul(h)), cfg)
+		v = solveUpdate(g2, w.Gram().HadamardInPlace(h.Gram()), cfg)
 		g3 = y.MTTKRP(3, v, h)
-		w = solveUpdate(g3, v.TMul(v).Hadamard(h.TMul(h)), cfg)
+		w = solveUpdate(g3, v.Gram().HadamardInPlace(h.Gram()), cfg)
 		projectW(w, cfg)
 		unpackW(w, s)
 
-		cur := reconstructionError2(t, q, h, v, s)
+		cur := reconstructionError2(t, q, h, v, s, pool)
 		if cfg.TrackConvergence {
 			res.ConvergenceTrace = append(res.ConvergenceTrace, cur)
 		}
@@ -161,50 +165,37 @@ func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
 
 	res.H, res.V, res.Q = h, v, q
 	res.TotalTime = time.Since(start)
-	res.Fitness = Fitness(t, res)
+	res.Fitness = fitnessWith(t, res, pool)
 	return res, nil
 }
 
 // spartanMTTKRP computes the mode-1 MTTKRP G⁽¹⁾ = Y(1)(W ⊙ V) with the
-// projection Y_k = Q_kᵀ X_k fused in, in parallel over slice blocks, and
-// returns the projected slices for the subsequent mode-2/3 updates.
-func spartanMTTKRP(t *tensor.Irregular, q []*mat.Dense, w, v, h *mat.Dense, threads int) (g1, g2, g3 *mat.Dense, ySlices []*mat.Dense) {
+// projection Y_k = Q_kᵀ X_k fused in, in parallel over slices, and returns
+// the projected slices for the subsequent mode-2/3 updates. Each slice's
+// R×R contribution is reduced in slice order, so the result is independent
+// of the pool width.
+func spartanMTTKRP(t *tensor.Irregular, q []*mat.Dense, w, v, h *mat.Dense, pool *compute.Pool) (g1, g2, g3 *mat.Dense, ySlices []*mat.Dense) {
 	k := t.K()
 	r := h.Cols
 	ySlices = make([]*mat.Dense, k)
-	partials := make([]*mat.Dense, threads)
-
-	buckets := scheduler.RoundRobin(k, threads)
-	var bucketOf = make([]int, k)
-	for b, items := range buckets {
-		for _, it := range items {
-			bucketOf[it] = b
-		}
-	}
-	scheduler.RunPartitioned(buckets, func(kk int) {
-		b := bucketOf[kk]
-		if partials[b] == nil {
-			partials[b] = mat.New(r, r)
-		}
+	contribs := make([]*mat.Dense, k)
+	pool.ParallelFor(k, func(kk int) {
 		// Fused: Y_k = Q_kᵀ X_k, then contribution W(k,:) ⊙ (Y_k V).
 		yk := q[kk].TMul(t.Slices[kk]) // R × J
 		ySlices[kk] = yk
 		yv := yk.Mul(v) // R × R
 		wrow := w.Row(kk)
-		p := partials[b]
 		for i := 0; i < r; i++ {
-			prow := p.Row(i)
 			yrow := yv.Row(i)
 			for rr := 0; rr < r; rr++ {
-				prow[rr] += yrow[rr] * wrow[rr]
+				yrow[rr] *= wrow[rr]
 			}
 		}
+		contribs[kk] = yv
 	})
 	g1 = mat.New(r, r)
-	for _, p := range partials {
-		if p != nil {
-			g1.AddInPlace(p)
-		}
+	for _, c := range contribs {
+		g1.AddInPlace(c)
 	}
 	return g1, nil, nil, ySlices
 }

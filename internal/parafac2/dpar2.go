@@ -3,6 +3,7 @@ package parafac2
 import (
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/lapack"
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -54,6 +55,12 @@ func (c *Compressed) SliceApprox(k int) *mat.Dense {
 // Stage 1 is parallelized with the greedy slice partition of Algorithm 4,
 // because the randomized-SVD cost of slice k is proportional to I_k.
 func Compress(t *tensor.Irregular, cfg Config) *Compressed {
+	pool, done := cfg.runtimePool()
+	defer done()
+	return compressWith(t, cfg, pool)
+}
+
+func compressWith(t *tensor.Irregular, cfg Config, pool *compute.Pool) *Compressed {
 	g := rng.New(cfg.Seed)
 	r := cfg.Rank
 	k := t.K()
@@ -66,18 +73,22 @@ func Compress(t *tensor.Irregular, cfg Config) *Compressed {
 		gens[kk] = g.Split()
 	}
 
-	// Stage 1: per-slice randomized SVD, load-balanced by row count.
+	// Stage 1: per-slice randomized SVD, load-balanced by row count. The
+	// slices are the unit of parallelism here, so the kernels inside each
+	// decomposition run serially (opts.Runner is nil).
 	a := make([]*mat.Dense, k)
 	cb := make([]*mat.Dense, k) // C_k B_k, J × R
-	buckets := scheduler.Partition(t.Rows(), cfg.threads())
-	scheduler.RunPartitioned(buckets, func(kk int) {
+	buckets := scheduler.Partition(t.Rows(), pool.Workers())
+	pool.RunPartitioned(buckets, func(kk int) {
 		d := rsvd.Decompose(gens[kk], t.Slices[kk], r, opts)
 		a[kk] = d.U
 		cb[kk] = d.V.ScaleColumns(d.S) // C_k B_k
 	})
 
-	// Stage 2: randomized SVD of M = ‖_k (C_k B_k) ∈ R^{J×KR}.
+	// Stage 2: randomized SVD of M = ‖_k (C_k B_k) ∈ R^{J×KR}. One big
+	// factorization — hand the pool to its kernels instead.
 	m := mat.HConcat(cb...)
+	opts.Runner = pool
 	d2 := rsvd.Decompose(g, m, r, opts)
 
 	f := make([]*mat.Dense, k)
@@ -96,8 +107,12 @@ func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
+	pool, done := cfg.runtimePool()
+	defer done()
+	cfg.Pool = pool // one pool for both phases and the fitness pass
+
 	start := time.Now()
-	comp := Compress(t, cfg)
+	comp := compressWith(t, cfg, pool)
 	preprocess := time.Since(start)
 
 	res, err := DPar2FromCompressed(comp, cfg)
@@ -106,7 +121,7 @@ func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
 	}
 	res.PreprocessTime = preprocess
 	res.TotalTime = time.Since(start)
-	res.Fitness = Fitness(t, res)
+	res.Fitness = fitnessWith(t, res, pool)
 	return res, nil
 }
 
@@ -114,19 +129,38 @@ func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
 // compressed tensor. Exposed separately so callers can amortize compression
 // across runs (e.g. rank sweeps over the same data) and so benchmarks can
 // time the phases independently.
+//
+// All per-slice working state is allocated once up front and every kernel in
+// the loop writes into preallocated or arena scratch, so the steady-state
+// iteration performs (nearly) zero heap allocations.
 func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 	iterStart := time.Now()
+	pool, done := cfg.runtimePool()
+	defer done()
+	arena := compute.Shared()
 	g := rng.New(cfg.Seed + 0x9e37)
 	r := cfg.Rank
 	k := len(comp.A)
-	threads := cfg.threads()
 
 	h, v, s := initCommon(g, comp.J, k, r)
 
-	// Per-slice R×R working state.
-	z := make([]*mat.Dense, k)  // Z_k
-	p := make([]*mat.Dense, k)  // P_k
-	tf := make([]*mat.Dense, k) // T_k = P_k Z_kᵀ F⁽ᵏ⁾ (the factor of Y_k)
+	// Per-slice R×R working state (Z_k, P_k, and T_k = P_k Z_kᵀ F⁽ᵏ⁾, the
+	// factor of Y_k), allocated once and overwritten in place each
+	// iteration. Row kk of svals receives the singular values of slice
+	// kk's Q-update SVD (needed only as scratch).
+	z := make([]*mat.Dense, k)
+	p := make([]*mat.Dense, k)
+	tf := make([]*mat.Dense, k)
+	for kk := 0; kk < k; kk++ {
+		z[kk] = mat.New(r, r)
+		p[kk] = mat.New(r, r)
+		tf[kk] = mat.New(r, r)
+	}
+	svals := mat.New(k, r)
+
+	dtv := mat.New(r, r)                   // DᵀV
+	ga, gb := mat.New(r, r), mat.New(r, r) // Gram scratch
+	g1, g2, g3 := mat.New(r, r), mat.New(comp.J, r), mat.New(k, r)
 
 	res := &Result{S: s, PreprocessedBytes: comp.SizeBytes()}
 
@@ -134,47 +168,55 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 	for it := 0; it < cfg.MaxIters; it++ {
 		res.Iters = it + 1
 
-		// D ᵀV is shared by the Q_k update and Lemma 1.
-		dtv := comp.D.TMul(v) // R × R
+		// DᵀV is shared by the Q_k update and Lemma 1.
+		comp.D.TMulInto(dtv, v, pool)
 
 		// --- Update Q_k in factored form (Section III-D) -------------
 		// SVD of F⁽ᵏ⁾ E DᵀV S_k Hᵀ (R×R) gives Z_k Σ_k P_kᵀ;
 		// Q_k = A_k Z_k P_kᵀ is never materialized.
-		scheduler.ParallelFor(k, threads, func(kk int) {
-			m := comp.F[kk].ScaleColumns(comp.E). // F⁽ᵏ⁾E
-								Mul(dtv).            // · DᵀV
-								ScaleColumns(s[kk]). // · S_k
-								MulT(h)              // · Hᵀ
-			d := lapack.Factor(m)
-			z[kk] = d.U
-			p[kk] = d.V
+		pool.ParallelFor(k, func(kk int) {
+			t1 := arena.GetUninit(r, r)
+			t2 := arena.GetUninit(r, r)
+			comp.F[kk].ScaleColumnsInto(t1, comp.E) // F⁽ᵏ⁾E
+			t1.MulInto(t2, dtv, nil)                // · DᵀV
+			t2.ScaleColumnsInto(t2, s[kk])          // · S_k
+			t2.MulTInto(t1, h, nil)                 // · Hᵀ
+			lapack.FactorInto(t1, z[kk], svals.Row(kk), p[kk], nil)
 			// Y_k = P_k Z_kᵀ F⁽ᵏ⁾ E Dᵀ; cache T_k = P_k Z_kᵀ F⁽ᵏ⁾.
-			tf[kk] = p[kk].MulT(z[kk]).Mul(comp.F[kk])
+			p[kk].MulTInto(t2, z[kk], nil)
+			t2.MulInto(tf[kk], comp.F[kk], nil)
+			arena.Put(t1, t2)
 		})
 
 		// --- One CP-ALS sweep via Lemmas 1-3 --------------------------
 		w := wMatrix(s)
 
 		// Lemma 1: G⁽¹⁾(:,r) = (Σ_k W(k,r) T_k) E DᵀV(:,r).
-		g1 := lemma1(tf, w, comp.E, dtv, threads)
-		h = solveUpdate(g1, w.TMul(w).Hadamard(v.TMul(v)), cfg)
+		lemma1Into(g1, tf, w, comp.E, dtv, pool, arena)
+		w.GramInto(ga)
+		v.GramInto(gb)
+		h = solveUpdate(g1, ga.HadamardInPlace(gb), cfg)
 
 		// Lemma 2: G⁽²⁾(:,r) = D E Σ_k W(k,r) T_kᵀ H(:,r).
-		g2 := lemma2(tf, w, comp.D, comp.E, h, threads)
-		v = solveUpdate(g2, w.TMul(w).Hadamard(h.TMul(h)), cfg)
+		lemma2Into(g2, tf, w, comp.D, comp.E, h, pool, arena)
+		w.GramInto(ga)
+		h.GramInto(gb)
+		v = solveUpdate(g2, ga.HadamardInPlace(gb), cfg)
 
 		// Lemma 3: G⁽³⁾(k,r) = H(:,r)ᵀ T_k E DᵀV(:,r), recomputed with
 		// the fresh V.
-		dtv = comp.D.TMul(v)
-		g3 := lemma3(tf, comp.E, dtv, h, threads)
-		w = solveUpdate(g3, v.TMul(v).Hadamard(h.TMul(h)), cfg)
+		comp.D.TMulInto(dtv, v, pool)
+		lemma3Into(g3, tf, comp.E, dtv, h, pool, arena)
+		v.GramInto(ga)
+		h.GramInto(gb)
+		w = solveUpdate(g3, ga.HadamardInPlace(gb), cfg)
 		projectW(w, cfg)
 		unpackW(w, s)
 
 		// --- Compressed convergence check (Section III-E) -------------
 		// e = Σ_k ‖P_k Z_kᵀ F⁽ᵏ⁾ E Dᵀ − H S_k Vᵀ‖_F², computed on R×R
 		// Gram matrices only.
-		cur := compressedError2(tf, comp.E, dtv, v, h, s)
+		cur := compressedError2(tf, comp.E, dtv, v, h, s, arena)
 		if cfg.TrackConvergence {
 			res.ConvergenceTrace = append(res.ConvergenceTrace, cur)
 		}
@@ -191,8 +233,11 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 
 	// Materialize Q_k = A_k Z_k P_kᵀ (line 25 materializes U_k = Q_k H).
 	q := make([]*mat.Dense, k)
-	scheduler.ParallelFor(k, threads, func(kk int) {
-		q[kk] = comp.A[kk].Mul(z[kk]).MulT(p[kk])
+	pool.ParallelFor(k, func(kk int) {
+		az := arena.GetUninit(comp.A[kk].Rows, r)
+		comp.A[kk].MulInto(az, z[kk], nil)
+		q[kk] = az.MulT(p[kk])
+		arena.Put(az)
 	})
 
 	res.H, res.V, res.Q = h, v, q
@@ -200,65 +245,71 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// lemma1 computes G⁽¹⁾ = Y(1)(W ⊙ V) ∈ R^{R×R} without reconstructing Y(1):
-// column r is (Σ_k W(k,r) T_k) · (E DᵀV(:,r)). Cost O(KR³ + R³).
-func lemma1(tf []*mat.Dense, w *mat.Dense, e []float64, dtv *mat.Dense, threads int) *mat.Dense {
+// lemma1Into computes G⁽¹⁾ = Y(1)(W ⊙ V) ∈ R^{R×R} without reconstructing
+// Y(1): column r is (Σ_k W(k,r) T_k) · (E DᵀV(:,r)). Cost O(KR³ + R³).
+func lemma1Into(out *mat.Dense, tf []*mat.Dense, w *mat.Dense, e []float64, dtv *mat.Dense, pool *compute.Pool, arena *compute.Arena) {
 	r := dtv.Cols
-	out := mat.New(r, r)
-	scheduler.ParallelFor(r, threads, func(col int) {
+	pool.ParallelFor(r, func(col int) {
 		// acc = Σ_k W(k,col) T_k
-		acc := mat.New(r, r)
+		acc := arena.Get(r, r)
 		for k, t := range tf {
 			acc.AddScaledInPlace(w.At(k, col), t)
 		}
 		// rhs = E DᵀV(:,col)
-		rhs := make([]float64, r)
+		rhs := arena.GetUninit(1, r)
 		for i := 0; i < r; i++ {
-			rhs[i] = e[i] * dtv.At(i, col)
+			rhs.Data[i] = e[i] * dtv.At(i, col)
 		}
-		out.SetCol(col, acc.MulVec(rhs))
+		tmp := arena.GetUninit(1, r)
+		acc.MulVecInto(tmp.Data, rhs.Data)
+		out.SetCol(col, tmp.Data)
+		arena.Put(acc, rhs, tmp)
 	})
-	return out
 }
 
-// lemma2 computes G⁽²⁾ = Y(2)(W ⊙ H) ∈ R^{J×R}: column r is
+// lemma2Into computes G⁽²⁾ = Y(2)(W ⊙ H) ∈ R^{J×R}: column r is
 // D E (Σ_k W(k,r) T_kᵀ H(:,r)). Note F⁽ᵏ⁾ᵀ Z_k P_kᵀ = T_kᵀ. Cost O(JR² + KR³).
-func lemma2(tf []*mat.Dense, w *mat.Dense, d *mat.Dense, e []float64, h *mat.Dense, threads int) *mat.Dense {
+func lemma2Into(out *mat.Dense, tf []*mat.Dense, w, d *mat.Dense, e []float64, h *mat.Dense, pool *compute.Pool, arena *compute.Arena) {
 	r := h.Cols
-	out := mat.New(d.Rows, r)
-	scheduler.ParallelFor(r, threads, func(col int) {
-		hcol := h.Col(col)
-		acc := make([]float64, r)
+	pool.ParallelFor(r, func(col int) {
+		hcol := arena.GetUninit(1, r)
+		for i := 0; i < r; i++ {
+			hcol.Data[i] = h.At(i, col)
+		}
+		acc := arena.Get(1, r)
+		tv := arena.GetUninit(1, r)
 		for k, t := range tf {
 			wk := w.At(k, col)
 			if wk == 0 {
 				continue
 			}
 			// acc += wk * T_kᵀ hcol
-			tv := t.TMulVec(hcol)
-			for i := range acc {
-				acc[i] += wk * tv[i]
+			t.TMulVecInto(tv.Data, hcol.Data)
+			for i, tvv := range tv.Data {
+				acc.Data[i] += wk * tvv
 			}
 		}
-		for i := range acc {
-			acc[i] *= e[i]
+		for i := range acc.Data {
+			acc.Data[i] *= e[i]
 		}
-		out.SetCol(col, d.MulVec(acc))
+		dcol := arena.GetUninit(1, d.Rows)
+		d.MulVecInto(dcol.Data, acc.Data)
+		out.SetCol(col, dcol.Data)
+		arena.Put(hcol, acc, tv, dcol)
 	})
-	return out
 }
 
-// lemma3 computes G⁽³⁾ = Y(3)(V ⊙ H) ∈ R^{K×R}: entry (k,r) is
+// lemma3Into computes G⁽³⁾ = Y(3)(V ⊙ H) ∈ R^{K×R}: entry (k,r) is
 // vec(T_k)ᵀ (E DᵀV(:,r) ⊗ H(:,r)) = H(:,r)ᵀ T_k (E DᵀV(:,r)). Cost O(KR³).
-func lemma3(tf []*mat.Dense, e []float64, dtv, h *mat.Dense, threads int) *mat.Dense {
+func lemma3Into(out *mat.Dense, tf []*mat.Dense, e []float64, dtv, h *mat.Dense, pool *compute.Pool, arena *compute.Arena) {
 	r := h.Cols
-	k := len(tf)
 	// edtv(:,r) = E DᵀV(:,r)
-	edtv := dtv.ScaleRows(e)
-	out := mat.New(k, r)
-	scheduler.ParallelFor(k, threads, func(kk int) {
+	edtv := arena.GetUninit(r, r)
+	dtv.ScaleRowsInto(edtv, e)
+	pool.ParallelFor(len(tf), func(kk int) {
 		// M = T_k · edtv (R×R); out(k,r) = H(:,r)ᵀ M(:,r).
-		m := tf[kk].Mul(edtv)
+		m := arena.GetUninit(r, r)
+		tf[kk].MulInto(m, edtv, nil)
 		row := out.Row(kk)
 		for col := 0; col < r; col++ {
 			var sum float64
@@ -267,8 +318,9 @@ func lemma3(tf []*mat.Dense, e []float64, dtv, h *mat.Dense, threads int) *mat.D
 			}
 			row[col] = sum
 		}
+		arena.Put(m)
 	})
-	return out
+	arena.Put(edtv)
 }
 
 // compressedError2 evaluates Σ_k ‖T_k E Dᵀ − H S_k Vᵀ‖_F² using only R×R
@@ -279,23 +331,31 @@ func lemma3(tf []*mat.Dense, e []float64, dtv, h *mat.Dense, threads int) *mat.D
 //	⟨G_k Dᵀ, B_k Vᵀ⟩ = ⟨G_k (DᵀV)ᵀ… = ⟨G_k, B_k (VᵀD)⟩
 //
 // which lowers the paper's O(JKR²) check to O(JR² + KR³).
-func compressedError2(tf []*mat.Dense, e []float64, dtv, v, h *mat.Dense, s [][]float64) float64 {
-	vtv := v.TMul(v) // R×R
-	vtd := dtv.T()   // VᵀD, R×R
+func compressedError2(tf []*mat.Dense, e []float64, dtv, v, h *mat.Dense, s [][]float64, arena *compute.Arena) float64 {
+	r := v.Cols
+	vtv := arena.GetUninit(r, r)
+	v.GramInto(vtv) // VᵀV, R×R
+	vtd := arena.GetUninit(r, r)
+	dtv.TInto(vtd) // VᵀD, R×R
+	gk := arena.GetUninit(r, r)
+	bk := arena.GetUninit(r, r)
+	bv := arena.GetUninit(r, r)
+	bvd := arena.GetUninit(r, r)
 	var total float64
 	for k, t := range tf {
-		gk := t.ScaleColumns(e)    // T_k E
-		bk := h.ScaleColumns(s[k]) // H S_k
+		t.ScaleColumnsInto(gk, e)    // T_k E
+		h.ScaleColumnsInto(bk, s[k]) // H S_k
 		normG := gk.FrobNorm2()
-		bv := bk.Mul(vtv)
+		bk.MulInto(bv, vtv, nil)
+		bk.MulInto(bvd, vtd, nil)
 		var normB, cross float64
-		bvd := bk.Mul(vtd)
 		for i := range gk.Data {
 			normB += bv.Data[i] * bk.Data[i]
 			cross += gk.Data[i] * bvd.Data[i]
 		}
 		total += normG + normB - 2*cross
 	}
+	arena.Put(vtv, vtd, gk, bk, bv, bvd)
 	if total < 0 {
 		total = 0 // guard tiny negative round-off
 	}

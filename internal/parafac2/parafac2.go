@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/lapack"
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -33,8 +34,16 @@ type Config struct {
 	// Tol stops iteration when the relative change of the convergence
 	// measure between iterations falls below it.
 	Tol float64
-	// Threads is the worker-pool width for parallel phases.
+	// Threads is the worker-pool width for parallel phases and the single
+	// source of truth for parallelism: when Pool is nil, every entry point
+	// builds a transient compute.Pool of this width for the duration of
+	// the call. Threads <= 0 means serial.
 	Threads int
+	// Pool, when non-nil, is the long-lived compute runtime all parallel
+	// phases run on; it overrides Threads. Set it to share one pool (and
+	// its worker goroutines) across many decompositions — concurrent
+	// decompositions may safely share a single Pool.
+	Pool *compute.Pool
 	// Seed drives factor initialization and randomized sketches.
 	Seed uint64
 	// Oversample and PowerIters configure randomized SVD (DPar2 only).
@@ -100,6 +109,18 @@ func (c Config) threads() int {
 	return c.Threads
 }
 
+// runtimePool resolves the compute pool for one decomposition call: the
+// caller-provided Config.Pool, or a transient pool of width Threads. done
+// must be called when the decomposition returns (it closes the pool only if
+// this call owns it).
+func (c Config) runtimePool() (pool *compute.Pool, done func()) {
+	if c.Pool != nil {
+		return c.Pool, func() {}
+	}
+	p := compute.NewPool(c.threads())
+	return p, p.Close
+}
+
 // Result is the output of a PARAFAC2 decomposition.
 type Result struct {
 	// H is the R×R common matrix; V is the J×R factor shared by all slices.
@@ -141,11 +162,15 @@ func (r *Result) ReconstructSlice(k int) *mat.Dense {
 // against the tensor it was computed from. Fitness close to 1 means the
 // model approximates the data well (Section IV-A of the paper).
 func Fitness(t *tensor.Irregular, r *Result) float64 {
-	var errSum float64
-	for k, xk := range t.Slices {
-		d := xk.FrobDist(r.ReconstructSlice(k))
-		errSum += d * d
-	}
+	return fitnessWith(t, r, compute.Default())
+}
+
+// fitnessWith evaluates the fitness with slice reconstructions parallelized
+// over pool and materialized in arena scratch (see reconstructionError2).
+// Per-slice errors are reduced in slice order, so the result is
+// deterministic for any pool width.
+func fitnessWith(t *tensor.Irregular, r *Result, pool *compute.Pool) float64 {
+	errSum := reconstructionError2(t, r.Q, r.H, r.V, r.S, pool)
 	n := t.Norm2()
 	if n == 0 {
 		return 1

@@ -222,19 +222,19 @@ func TestLemmasMatchNaiveMTTKRP(t *testing.T) {
 	_ = s
 
 	dtv := d.TMul(v)
-	g1 := lemma1(tf, w, e, dtv, 2)
+	g1 := LemmaG1(tf, w, e, dtv, 2)
 	want1 := y.MTTKRP(1, w, v)
 	if !g1.EqualApprox(want1, 1e-9) {
 		t.Fatal("Lemma 1 disagrees with naive Y(1)(W⊙V)")
 	}
 
-	g2 := lemma2(tf, w, d, e, h, 2)
+	g2 := LemmaG2(tf, w, d, e, h, 2)
 	want2 := y.MTTKRP(2, w, h)
 	if !g2.EqualApprox(want2, 1e-9) {
 		t.Fatal("Lemma 2 disagrees with naive Y(2)(W⊙H)")
 	}
 
-	g3 := lemma3(tf, e, dtv, h, 2)
+	g3 := LemmaG3(tf, e, dtv, h, 2)
 	want3 := y.MTTKRP(3, v, h)
 	if !g3.EqualApprox(want3, 1e-9) {
 		t.Fatal("Lemma 3 disagrees with naive Y(3)(V⊙H)")
@@ -266,7 +266,7 @@ func TestCompressedErrorMatchesDirect(t *testing.T) {
 	}
 	comp := &Compressed{D: d, E: e, F: tf, J: j, Rank: r}
 	dtv := d.TMul(v)
-	got := compressedError2(tf, e, dtv, v, h, s)
+	got := CompressedErrorGram2(tf, e, dtv, v, h, s)
 	want := CompressedErrorDirect2(comp, tf, v, h, s)
 	if math.Abs(got-want) > 1e-8*(1+want) {
 		t.Fatalf("compressed error %v != direct %v", got, want)
@@ -300,7 +300,7 @@ func TestConvergenceIdentityAgainstSliceApprox(t *testing.T) {
 		tf[k] = res.Q[k].TMul(comp.A[k]).Mul(comp.F[k])
 	}
 	dtv := comp.D.TMul(res.V)
-	got := compressedError2(tf, comp.E, dtv, res.V, res.H, res.S)
+	got := CompressedErrorGram2(tf, comp.E, dtv, res.V, res.H, res.S)
 	if math.Abs(got-direct) > 1e-6*(1+direct) {
 		t.Fatalf("compressed measure %v != direct slice measure %v", got, direct)
 	}

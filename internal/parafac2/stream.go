@@ -43,6 +43,8 @@ func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) erro
 		}
 	}
 	opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
+	pool, done := cfg.runtimePool()
+	defer done()
 
 	// Stage 1 on the new slices only, load-balanced as in Compress.
 	n := len(newSlices)
@@ -56,17 +58,19 @@ func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) erro
 	}
 	newA := make([]*mat.Dense, n)
 	newCB := make([]*mat.Dense, n)
-	scheduler.RunPartitioned(scheduler.Partition(rows, cfg.threads()), func(i int) {
+	pool.RunPartitioned(scheduler.Partition(rows, pool.Workers()), func(i int) {
 		d := rsvd.Decompose(gens[i], newSlices[i], r, opts)
 		newA[i] = d.U
 		newCB[i] = d.V.ScaleColumns(d.S)
 	})
 
-	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR).
+	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR). One big
+	// factorization, so its kernels run on the pool (as in Compress).
 	parts := make([]*mat.Dense, 0, n+1)
 	parts = append(parts, c.D.ScaleColumns(c.E))
 	parts = append(parts, newCB...)
 	gmat := mat.HConcat(parts...)
+	opts.Runner = pool
 	d2 := rsvd.Decompose(g, gmat, r, opts)
 
 	w1 := d2.V.RowBlock(0, r) // R × R: how the old basis rotates

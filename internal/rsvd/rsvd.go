@@ -28,6 +28,11 @@ type Options struct {
 	// sharpens the spectrum enough for the slowly-decaying spectra of
 	// dense real-world slices; q=0 is faster but less accurate.
 	PowerIters int
+	// Runner, when non-nil, parallelizes the sketch multiplications
+	// (e.g. a *compute.Pool). Leave nil when the caller already
+	// parallelizes across independent decompositions, as DPar2's stage-1
+	// slice loop does.
+	Runner mat.Runner
 }
 
 // DefaultOptions mirrors the paper's setup (rank-R sketch with modest
@@ -65,30 +70,25 @@ func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	if sketch >= minDim {
 		// Sketch would not compress anything; deterministic SVD is both
 		// cheaper and exact here.
-		return lapack.Truncated(a, min(r, minDim))
+		return lapack.TruncatedWith(a, min(r, minDim), opts.Runner)
 	}
 
 	// Y = (AAᵀ)^q A Ω.
+	rn := opts.Runner
 	omega := mat.Gaussian(g, a.Cols, sketch)
-	y := a.Mul(omega) // I×sketch
+	y := a.MulInto(mat.New(a.Rows, sketch), omega, rn) // I×sketch
 	for q := 0; q < opts.PowerIters; q++ {
 		// Re-orthonormalize between multiplications to stop the columns
 		// of Y collapsing onto the dominant singular vector.
 		y = lapack.QRFactor(y).Q
-		z := a.TMul(y) // J×sketch = Aᵀ Y
+		z := a.TMulInto(mat.New(a.Cols, sketch), y, rn) // J×sketch = Aᵀ Y
 		z = lapack.QRFactor(z).Q
-		y = a.Mul(z) // I×sketch
+		y = a.MulInto(mat.New(a.Rows, sketch), z, rn) // I×sketch
 	}
-	q := lapack.QRFactor(y).Q // I×sketch, orthonormal columns
-	b := q.TMul(a)            // sketch×J
+	q := lapack.QRFactor(y).Q                       // I×sketch, orthonormal columns
+	b := q.TMulInto(mat.New(sketch, a.Cols), a, rn) // sketch×J
 
 	inner := lapack.Truncated(b, r)
-	return lapack.SVD{U: q.Mul(inner.U), S: inner.S, V: inner.V}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	u := q.MulInto(mat.New(q.Rows, r), inner.U, rn)
+	return lapack.SVD{U: u, S: inner.S, V: inner.V}
 }

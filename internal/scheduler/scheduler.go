@@ -1,15 +1,15 @@
-// Package scheduler implements the careful work distribution of Section
+// Package scheduler implements the work-distribution *policy* of Section
 // III-F / Algorithm 4 of the DPar2 paper: a greedy number-partitioning of
 // slices across threads so that the per-thread sums of row counts (which the
 // stage-1 randomized-SVD cost is proportional to) are balanced despite the
-// irregularity of the tensor, plus a generic worker pool used by all
-// parallel phases.
+// irregularity of the tensor.
+//
+// Execution lives elsewhere: hand the buckets produced here to
+// (*compute.Pool).RunPartitioned. The generic worker-pool mechanics that
+// used to live in this package moved to internal/compute.
 package scheduler
 
-import (
-	"sort"
-	"sync"
-)
+import "sort"
 
 // Partition assigns the K items with the given sizes to t buckets using the
 // greedy longest-processing-time heuristic of Algorithm 4: sort sizes in
@@ -88,55 +88,4 @@ func Imbalance(sizes []int, buckets [][]int) float64 {
 	}
 	ideal := float64(total) / float64(len(buckets))
 	return float64(MaxLoad(sizes, buckets)) / ideal
-}
-
-// RunPartitioned executes fn(item) for every item, with each bucket's items
-// processed sequentially by one goroutine. fn must be safe for concurrent
-// invocation across buckets.
-func RunPartitioned(buckets [][]int, fn func(item int)) {
-	var wg sync.WaitGroup
-	for _, b := range buckets {
-		if len(b) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(items []int) {
-			defer wg.Done()
-			for _, it := range items {
-				fn(it)
-			}
-		}(b)
-	}
-	wg.Wait()
-}
-
-// ParallelFor runs fn(i) for i in [0, n) across at most workers goroutines
-// with contiguous chunking — the uniform allocation Section III-F uses for
-// the iteration phase, where per-item cost no longer depends on I_k.
-func ParallelFor(n, workers int, fn func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -1,7 +1,6 @@
 package scheduler
 
 import (
-	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -90,37 +89,6 @@ func TestMaxLoadAndImbalance(t *testing.T) {
 	if Imbalance(nil, nil) != 1 {
 		t.Fatal("degenerate imbalance should be 1")
 	}
-}
-
-func TestRunPartitionedExecutesAll(t *testing.T) {
-	sizes := make([]int, 64)
-	for i := range sizes {
-		sizes[i] = i + 1
-	}
-	var count int64
-	var sum int64
-	RunPartitioned(Partition(sizes, 8), func(item int) {
-		atomic.AddInt64(&count, 1)
-		atomic.AddInt64(&sum, int64(item))
-	})
-	if count != 64 {
-		t.Fatalf("executed %d of 64", count)
-	}
-	if sum != 64*63/2 {
-		t.Fatalf("wrong item set, sum=%d", sum)
-	}
-}
-
-func TestParallelForExecutesAll(t *testing.T) {
-	for _, workers := range []int{1, 2, 4, 100} {
-		var count int64
-		ParallelFor(37, workers, func(i int) { atomic.AddInt64(&count, 1) })
-		if count != 37 {
-			t.Fatalf("workers=%d executed %d of 37", workers, count)
-		}
-	}
-	// n=0 must not hang or call fn.
-	ParallelFor(0, 4, func(i int) { t.Fatal("called for n=0") })
 }
 
 func TestQuickGreedyNeverWorseThanRoundRobin(t *testing.T) {

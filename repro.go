@@ -18,12 +18,33 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Fitness, res.Iters, res.TotalTime)
 //
-// The heavy lifting lives in internal packages (mat, lapack, rsvd, tensor,
-// cp, parafac2, scheduler, datagen, stats); this package re-exports the
-// surface a downstream user needs.
+// # Threading model
+//
+// Config.Threads is the single source of truth for parallelism: every
+// decomposition entry point runs its parallel phases (slice compression, the
+// ALS iteration kernels, fitness evaluation) on a compute worker pool of
+// that width, created for the duration of the call. Long-running callers —
+// servers decomposing many tensors, rank sweeps, streaming — should create
+// one pool up front and share it:
+//
+//	pool := repro.NewPool(8) // 8 workers, reused across decompositions
+//	defer pool.Close()
+//	cfg := repro.DefaultConfig()
+//	cfg.Pool = pool // overrides cfg.Threads
+//
+// A shared pool is safe for concurrent decompositions. The pool contributes
+// at most its width in worker goroutines; each goroutine calling into the
+// library also participates in its own work, so N concurrent callers run on
+// at most width-1 + N goroutines. Results are deterministic for a given
+// Config regardless of Threads/pool width.
+//
+// The heavy lifting lives in internal packages (compute, mat, lapack, rsvd,
+// tensor, cp, parafac2, scheduler, datagen, stats); this package re-exports
+// the surface a downstream user needs.
 package repro
 
 import (
+	"repro/internal/compute"
 	"repro/internal/datagen"
 	"repro/internal/mat"
 	"repro/internal/parafac2"
@@ -31,6 +52,20 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
+
+// Pool is the shared compute runtime: a long-lived worker pool plus
+// size-bucketed scratch reuse that all decomposition phases run on. Set
+// Config.Pool to share one across decompositions.
+type Pool = compute.Pool
+
+// NewPool returns a worker pool of width n. Close it when done; a nil *Pool
+// means serial execution.
+//
+// Note the zero conventions differ: NewPool(n <= 0) means GOMAXPROCS (the
+// natural default for a pool you build explicitly), while Config.Threads <= 0
+// means serial. When deriving a pool width from a Config, clamp:
+// NewPool(max(1, cfg.Threads)).
+func NewPool(n int) *Pool { return compute.NewPool(n) }
 
 // Matrix is a row-major dense matrix of float64.
 type Matrix = mat.Dense

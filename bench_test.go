@@ -11,6 +11,7 @@ package repro
 // points with stable workloads.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -94,7 +95,7 @@ func BenchmarkFig1TradeOff(b *testing.B) {
 				cfg := benchConfig(rank)
 				var fit float64
 				for i := 0; i < b.N; i++ {
-					res, err := m.Run(ten, cfg)
+					res, err := m.Run(context.Background(), ten, cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -142,7 +143,7 @@ func BenchmarkFig9IterationTime(b *testing.B) {
 			cfg.Tol = 0 // run all iterations: we report per-iteration time
 			var perIter float64
 			for i := 0; i < b.N; i++ {
-				res, err := m.Run(ten, cfg)
+				res, err := m.Run(context.Background(), ten, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -178,7 +179,7 @@ func BenchmarkFig11TensorSize(b *testing.B) {
 			b.Run(fmt.Sprintf("%dx%dx%d/%s", s[0], s[1], s[2], m.Name), func(b *testing.B) {
 				cfg := benchConfig(10)
 				for i := 0; i < b.N; i++ {
-					if _, err := m.Run(ten, cfg); err != nil {
+					if _, err := m.Run(context.Background(), ten, cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -197,7 +198,7 @@ func BenchmarkFig11Rank(b *testing.B) {
 			b.Run(fmt.Sprintf("rank%d/%s", rank, m.Name), func(b *testing.B) {
 				cfg := benchConfig(rank)
 				for i := 0; i < b.N; i++ {
-					if _, err := m.Run(ten, cfg); err != nil {
+					if _, err := m.Run(context.Background(), ten, cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -231,7 +232,7 @@ func BenchmarkFig12Correlations(b *testing.B) {
 	d := experiments.Dataset{Name: "US Stock", Tensor: ten, Sectors: sec}
 	cfg := benchConfig(10)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig12(d, cfg); err != nil {
+		if _, _, err := experiments.Fig12(context.Background(), d, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func BenchmarkTableIIISimilarStocks(b *testing.B) {
 	d := experiments.Dataset{Name: "US Stock", Tensor: ten, Sectors: sec}
 	cfg := benchConfig(10)
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableIII(d, cfg, 0, 10, 0.01); err != nil {
+		if _, err := experiments.TableIII(context.Background(), d, cfg, 0, 10, 0.01); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,21 +13,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/compute"
+	"repro"
 	"repro/internal/datagen"
 	"repro/internal/dataio"
 	"repro/internal/experiments"
 	"repro/internal/mat"
-	"repro/internal/parafac2"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -72,38 +74,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tensor written to %s\n", *saveTensor)
 	}
 
-	cfg := parafac2.DefaultConfig()
-	cfg.Rank = *rank
-	cfg.MaxIters = *iters
-	cfg.Tol = *tol
-	cfg.Threads = *threads
-	cfg.Seed = *seed
-	cfg.TrackConvergence = *verbose
+	// Ctrl-C cancels the decomposition between ALS iterations/phases.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	// One long-lived worker pool of width -threads for the whole run
-	// (clamped to 1 so -threads 0 means serial, matching Config.Threads).
-	width := cfg.Threads
-	if width < 1 {
-		width = 1
-	}
-	pool := compute.NewPool(width)
-	defer pool.Close()
-	cfg.Pool = pool
+	// One Engine (worker pool of width -threads, via the single <=0=serial
+	// clamping rule) runs whichever registered method -method names; the
+	// registry resolves the aliases this flag has always accepted.
+	eng := repro.NewEngine(repro.WithEngineThreads(*threads))
+	defer eng.Close()
 
-	var res *parafac2.Result
-	switch strings.ToLower(*method) {
-	case "dpar2":
-		res, err = parafac2.DPar2(ten, cfg)
-	case "rdals", "rd-als":
-		res, err = parafac2.RDALS(ten, cfg)
-	case "als", "parafac2-als":
-		res, err = parafac2.ALS(ten, cfg)
-	case "spartan":
-		res, err = parafac2.SPARTan(ten, cfg)
-	default:
-		err = fmt.Errorf("unknown method %q", *method)
+	opts := []repro.Option{
+		repro.WithMethod(repro.MethodID(*method)),
+		repro.WithRank(*rank),
+		repro.WithMaxIters(*iters),
+		repro.WithTolerance(*tol),
+		repro.WithSeed(*seed),
 	}
+	if *verbose {
+		opts = append(opts, repro.WithConvergenceTrace())
+	}
+	res, err := eng.Decompose(ctx, ten, opts...)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dpar2: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "dpar2:", err)
 		os.Exit(1)
 	}
@@ -111,7 +107,7 @@ func main() {
 	fmt.Printf("method        %s\n", *method)
 	fmt.Printf("tensor        K=%d slices, J=%d columns, max I_k=%d, %d elements\n",
 		ten.K(), ten.J, ten.MaxRows(), ten.NumElements())
-	fmt.Printf("rank          %d\n", cfg.Rank)
+	fmt.Printf("rank          %d\n", *rank)
 	fmt.Printf("iterations    %d\n", res.Iters)
 	fmt.Printf("fitness       %.6f\n", res.Fitness)
 	fmt.Printf("preprocess    %v\n", res.PreprocessTime)

@@ -13,25 +13,34 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/internal/compute"
 	"repro/internal/experiments"
 	"repro/internal/parafac2"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12")
-		table = flag.String("table", "", "table to regenerate: 2, 3")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.String("scale", "bench", "dataset scale: bench | test")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		rank  = flag.Int("rank", 10, "base target rank")
-		iters = flag.Int("iters", 32, "max ALS iterations")
+		fig     = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12")
+		table   = flag.String("table", "", "table to regenerate: 2, 3")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "bench", "dataset scale: bench | test")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		rank    = flag.Int("rank", 10, "base target rank")
+		iters   = flag.Int("iters", 32, "max ALS iterations")
+		threads = flag.Int("threads", parafac2.DefaultConfig().Threads, "worker threads (<=0 = serial)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep between ALS iterations/phases instead of
+	// killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	sc := experiments.ScaleBench
 	if *scale == "test" {
@@ -41,6 +50,14 @@ func main() {
 	cfg.Rank = *rank
 	cfg.MaxIters = *iters
 	cfg.Seed = *seed
+	cfg.Threads = *threads
+
+	// One long-lived pool for every experiment in the run (the Fig. 11c
+	// thread sweep overrides it per measurement — pool width is what it
+	// measures).
+	pool := compute.NewPoolFromThreads(*threads)
+	defer pool.Close()
+	cfg.Pool = pool
 
 	run := func(name string) bool { return *all || *fig == name || *table == name }
 
@@ -68,13 +85,13 @@ func main() {
 		if sc == experiments.ScaleTest {
 			ranks = []int{5}
 		}
-		results, err := experiments.Fig1(datasets, ranks, cfg)
+		results, err := experiments.Fig1(ctx, datasets, ranks, cfg)
 		fail(err)
 		experiments.Fig1Table(results).Fprint(os.Stdout)
 	}
 	if (run("9") || run("10")) && *table == "" {
 		fmt.Fprintln(os.Stderr, "running Fig. 9/10 measurements...")
-		results, err := experiments.Fig9(datasets, cfg)
+		results, err := experiments.Fig9(ctx, datasets, cfg)
 		fail(err)
 		if run("9") {
 			experiments.Fig9aTable(results).Fprint(os.Stdout)
@@ -90,7 +107,7 @@ func main() {
 		if sc == experiments.ScaleTest {
 			shrink = 40
 		}
-		pts, err := experiments.Fig11a(*seed, experiments.Fig11aSizes(shrink), cfg)
+		pts, err := experiments.Fig11a(ctx, *seed, experiments.Fig11aSizes(shrink), cfg)
 		fail(err)
 		experiments.Fig11aTable(pts).Fprint(os.Stdout)
 	}
@@ -102,7 +119,7 @@ func main() {
 			i, j, k = 60, 50, 10
 			ranks = []int{5, 10}
 		}
-		pts, err := experiments.Fig11b(*seed, i, j, k, ranks, cfg)
+		pts, err := experiments.Fig11b(ctx, *seed, i, j, k, ranks, cfg)
 		fail(err)
 		experiments.Fig11bTable(pts).Fprint(os.Stdout)
 	}
@@ -114,7 +131,7 @@ func main() {
 			i, j, k = 60, 50, 10
 			threads = []int{1, 2}
 		}
-		pts, err := experiments.Fig11c(*seed, i, j, k, threads, cfg)
+		pts, err := experiments.Fig11c(ctx, *seed, i, j, k, threads, cfg)
 		fail(err)
 		experiments.Fig11cTable(pts).Fprint(os.Stdout)
 	}
@@ -125,7 +142,7 @@ func main() {
 			if !ok {
 				fail(fmt.Errorf("dataset %q missing", name))
 			}
-			corr, labels, err := experiments.Fig12(d, cfg)
+			corr, labels, err := experiments.Fig12(ctx, d, cfg)
 			fail(err)
 			experiments.Fig12Table("Fig. 12: "+name+" feature correlations", corr, labels).Fprint(os.Stdout)
 		}
@@ -139,7 +156,7 @@ func main() {
 		// Query: the stock with the median listing period, so plenty of
 		// stocks share (at least) its range.
 		target := medianRowsIndex(d)
-		res, err := experiments.TableIII(d, cfg, target, 10, 0.01)
+		res, err := experiments.TableIII(ctx, d, cfg, target, 10, 0.01)
 		fail(err)
 		experiments.TableIIITable(res).Fprint(os.Stdout)
 		fmt.Printf("sector precision: kNN %.2f, RWR %.2f\n\n",

@@ -1,0 +1,364 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/compute"
+	"repro/internal/parafac2"
+)
+
+// ErrEngineClosed is returned (or delivered as JobResult.Err) by every
+// Engine method called after Close.
+var ErrEngineClosed = errors.New("repro: engine is closed")
+
+// Engine is the long-lived entry point for every decomposition in this
+// package: it owns one shared compute pool (workers + warm scratch arenas)
+// and runs any registered algorithm against it, either synchronously
+// (Decompose) or through a bounded job queue (Submit) that lets N tenants
+// share the pool with near-zero steady-state allocation.
+//
+//	eng := repro.NewEngine() // pool width = DefaultConfig().Threads
+//	defer eng.Close()
+//	res, err := eng.Decompose(ctx, tensor,
+//		repro.WithMethod(repro.MethodDPar2), repro.WithRank(10))
+//
+// Every call accepts a context, checked between ALS iterations and between
+// the parallel phases inside one, so jobs are cancellable and
+// deadline-bounded; on cancellation the unwrapped ctx.Err() comes back.
+// Results are deterministic for a given tensor and options, regardless of
+// pool width or how many jobs run concurrently.
+//
+// An Engine is safe for concurrent use. Close stops the job workers, waits
+// for accepted jobs to finish, and releases the pool (unless it was supplied
+// with WithEnginePool, in which case the caller keeps ownership).
+type Engine struct {
+	pool    *compute.Pool
+	ownPool bool
+	base    Config
+
+	queue chan pendingJob
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // serializes Submit sends against Close's close(queue)
+	closed bool
+}
+
+// pendingJob is one queued Submit request.
+type pendingJob struct {
+	ctx context.Context
+	job Job
+	out chan JobResult
+}
+
+// engineSettings collects EngineOption state before the Engine is built.
+type engineSettings struct {
+	pool       *compute.Pool
+	threads    int
+	threadsSet bool
+	base       Config
+	queueDepth int
+	jobWorkers int
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineSettings)
+
+// WithEngineThreads sizes the Engine's own pool from a thread count under
+// the repository's single clamping rule (n <= 0 means serial). Ignored when
+// WithEnginePool is also given.
+func WithEngineThreads(n int) EngineOption {
+	return func(s *engineSettings) {
+		s.threads = n
+		s.threadsSet = true
+	}
+}
+
+// WithEnginePool hands the Engine an existing pool instead of building one.
+// The caller keeps ownership: Close will not close it.
+func WithEnginePool(p *Pool) EngineOption {
+	return func(s *engineSettings) { s.pool = p }
+}
+
+// WithBaseConfig sets the Config every call starts from before per-call
+// Options apply (default DefaultConfig()). Its Pool field is ignored — the
+// Engine's pool always applies — and its Threads field only sizes the
+// Engine's pool when neither WithEngineThreads nor WithEnginePool is given.
+func WithBaseConfig(cfg Config) EngineOption {
+	return func(s *engineSettings) { s.base = cfg }
+}
+
+// WithQueueDepth bounds the Submit queue (default 32). When the queue is
+// full, Submit blocks until a worker frees a slot or the job's context is
+// done — backpressure instead of unbounded buffering.
+func WithQueueDepth(n int) EngineOption {
+	return func(s *engineSettings) {
+		if n > 0 {
+			s.queueDepth = n
+		}
+	}
+}
+
+// WithJobConcurrency sets how many submitted jobs execute at once
+// (default 4). All of them share the one pool: more concurrent jobs raise
+// utilization when single jobs cannot saturate it, at the cost of per-job
+// latency.
+func WithJobConcurrency(n int) EngineOption {
+	return func(s *engineSettings) {
+		if n > 0 {
+			s.jobWorkers = n
+		}
+	}
+}
+
+// NewEngine builds an Engine. With no options it owns a pool of width
+// DefaultConfig().Threads (the paper's 6), a base Config of DefaultConfig(),
+// a Submit queue of depth 32, and 4 concurrent job workers.
+func NewEngine(opts ...EngineOption) *Engine {
+	s := engineSettings{
+		base:       DefaultConfig(),
+		queueDepth: 32,
+		jobWorkers: 4,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+
+	e := &Engine{base: s.base}
+	switch {
+	case s.pool != nil:
+		e.pool = s.pool
+	case s.threadsSet:
+		e.pool = compute.NewPoolFromThreads(s.threads)
+		e.ownPool = true
+	default:
+		e.pool = compute.NewPoolFromThreads(s.base.Threads)
+		e.ownPool = true
+	}
+	// The Engine's pool is the single parallelism knob from here on.
+	e.base.Pool = nil
+	e.base.Threads = 0
+
+	e.queue = make(chan pendingJob, s.queueDepth)
+	e.wg.Add(s.jobWorkers)
+	for i := 0; i < s.jobWorkers; i++ {
+		go e.jobWorker()
+	}
+	return e
+}
+
+// Pool exposes the Engine's shared pool (e.g. for repro.Fitness-style
+// helpers or direct Config users during migration). The Engine retains
+// ownership unless the pool came from WithEnginePool.
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// Close stops accepting work, waits for already-accepted jobs to finish
+// (they still produce results), and closes the Engine-owned pool. Close is
+// idempotent; calls after the first wait for the same drain.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	first := !e.closed
+	if first {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	if first && e.ownPool {
+		e.pool.Close()
+	}
+}
+
+// isClosed reports whether Close has begun.
+func (e *Engine) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
+}
+
+// prepare is the shared preamble of every Engine call: reject a closed
+// engine, default a nil ctx, fold the base Config and per-call options into
+// a jobSpec, resolve the method against the registry, and pin the spec to
+// the shared pool. Callers that cannot run all methods pass dpar2Only.
+func (e *Engine) prepare(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, error) {
+	if e.isClosed() {
+		return ctx, nil, jobSpec{}, ErrEngineClosed
+	}
+	return e.prepareOpen(ctx, opts, dpar2Only, op)
+}
+
+// prepareOpen is prepare without the closed check — the path jobs drained
+// after Close take (they were accepted before Close and must still run).
+func (e *Engine) prepareOpen(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, error) {
+	spec := jobSpec{method: MethodDPar2, cfg: e.base}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&spec); err != nil {
+			return ctx, nil, spec, err
+		}
+	}
+	m, err := parafac2.MustLookup(string(spec.method))
+	if err != nil {
+		return ctx, nil, spec, err
+	}
+	if dpar2Only && m.Name() != string(MethodDPar2) {
+		return ctx, nil, spec, fmt.Errorf("repro: %s supports only %s, got %s", op, MethodDPar2, m.Name())
+	}
+	spec.cfg.Pool = e.pool
+	spec.cfg.Threads = e.pool.Workers()
+	return ctx, m, spec, nil
+}
+
+// Decompose runs one decomposition synchronously on the shared pool: the
+// Engine's base Config plus opts select the algorithm (default MethodDPar2)
+// and its parameters. It is the single entry point every algorithm runs
+// through; the old per-method free functions are deprecated wrappers.
+func (e *Engine) Decompose(ctx context.Context, t *Irregular, opts ...Option) (*Result, error) {
+	if e.isClosed() {
+		return nil, ErrEngineClosed
+	}
+	return e.decompose(ctx, t, opts)
+}
+
+// decompose is Decompose without the closed check — the path drained jobs
+// take after Close has begun. prepare would re-reject those, so its closed
+// check is skipped by construction: a drained job was accepted before Close.
+func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option) (*Result, error) {
+	if t == nil {
+		return nil, errors.New("repro: Decompose with nil tensor")
+	}
+	ctx, m, spec, err := e.prepareOpen(ctx, opts, false, "Decompose")
+	if err != nil {
+		return nil, err
+	}
+	return m.Decompose(ctx, t, spec.cfg)
+}
+
+// Compress runs only the two-stage compression on the shared pool, for
+// callers that amortize preprocessing across several DecomposeCompressed
+// runs (rank sweeps, hyperparameter exploration).
+func (e *Engine) Compress(ctx context.Context, t *Irregular, opts ...Option) (*Compressed, error) {
+	if t == nil {
+		return nil, errors.New("repro: Compress with nil tensor")
+	}
+	ctx, _, spec, err := e.prepare(ctx, opts, true, "Compress")
+	if err != nil {
+		return nil, err
+	}
+	return parafac2.CompressCtx(ctx, t, spec.cfg)
+}
+
+// DecomposeCompressed runs DPar2's iteration phase on a previously
+// compressed tensor (only DPar2 iterates on the compressed form; any other
+// WithMethod is an error). Result.Fitness is the compressed-space estimate;
+// see DPar2FromCompressed.
+func (e *Engine) DecomposeCompressed(ctx context.Context, c *Compressed, opts ...Option) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("repro: DecomposeCompressed with nil Compressed")
+	}
+	ctx, _, spec, err := e.prepare(ctx, opts, true, "DecomposeCompressed")
+	if err != nil {
+		return nil, err
+	}
+	return parafac2.DPar2FromCompressedCtx(ctx, c, spec.cfg)
+}
+
+// NewStream starts a streaming DPar2 decomposition on the shared pool (only
+// DPar2 streams; any other WithMethod is an error): the initial batch is
+// compressed and decomposed now; later Absorb calls warm-start from the
+// previous factors. The stream keeps using the Engine's pool — close the
+// Engine only after the stream is done (absorbs on a closed engine still
+// work, just serially).
+func (e *Engine) NewStream(ctx context.Context, initial *Irregular, opts ...Option) (*StreamingDPar2, error) {
+	if initial == nil {
+		return nil, errors.New("repro: NewStream with nil tensor")
+	}
+	ctx, _, spec, err := e.prepare(ctx, opts, true, "NewStream")
+	if err != nil {
+		return nil, err
+	}
+	return parafac2.NewStreamingDPar2Ctx(ctx, initial, spec.cfg)
+}
+
+// Fitness evaluates a result against a tensor on the Engine's pool (the
+// package-level Fitness uses a process-wide default pool instead).
+func (e *Engine) Fitness(t *Irregular, r *Result) float64 {
+	return parafac2.FitnessWith(t, r, e.pool)
+}
+
+// ----- The batched job service ---------------------------------------------
+
+// Job is one queued decomposition request: a tensor plus the per-job options
+// (method, rank, seed, ...) that Decompose would take. Tag is an opaque
+// caller identifier echoed in the JobResult.
+type Job struct {
+	Tensor  *Irregular
+	Options []Option
+	Tag     string
+}
+
+// JobResult is the outcome of one submitted Job. Exactly one of Result/Err
+// is set (Err may be the job context's error if it was cancelled while
+// queued or mid-run, or ErrEngineClosed if submitted after Close).
+type JobResult struct {
+	Tag    string
+	Result *Result
+	Err    error
+}
+
+// Submit enqueues a Job on the bounded queue and returns a 1-buffered channel
+// that receives exactly one JobResult — the batched multi-tensor service
+// path: N tenants submit against one Engine, the job workers drain the queue
+// onto the shared pool, and the workspace arena keeps steady-state
+// allocation near zero across jobs.
+//
+// Submit blocks only while the queue is full (backpressure); ctx applies to
+// the whole job lifetime — waiting for a queue slot, waiting for a worker,
+// and the decomposition itself. A ctx cancelled anywhere along that path
+// delivers ctx.Err() on the returned channel.
+func (e *Engine) Submit(ctx context.Context, job Job) <-chan JobResult {
+	out := make(chan JobResult, 1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		out <- JobResult{Tag: job.Tag, Err: ErrEngineClosed}
+		return out
+	}
+	select {
+	case e.queue <- pendingJob{ctx: ctx, job: job, out: out}:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		out <- JobResult{Tag: job.Tag, Err: ctx.Err()}
+	}
+	return out
+}
+
+// jobWorker drains the queue until Close closes it; accepted jobs always
+// deliver a result, even when drained after Close began.
+func (e *Engine) jobWorker() {
+	defer e.wg.Done()
+	for pj := range e.queue {
+		pj.out <- e.runJob(pj)
+	}
+}
+
+func (e *Engine) runJob(pj pendingJob) JobResult {
+	if err := pj.ctx.Err(); err != nil {
+		return JobResult{Tag: pj.job.Tag, Err: err}
+	}
+	res, err := e.decompose(pj.ctx, pj.job.Tensor, pj.job.Options)
+	return JobResult{Tag: pj.job.Tag, Result: res, Err: err}
+}

@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func engineTestTensor(seed uint64) *Irregular {
+	g := NewRNG(seed)
+	return LowRankTensor(g, []int{60, 80, 50, 70}, 24, 4, 0.02)
+}
+
+func engineTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rank = 4
+	cfg.MaxIters = 8
+	cfg.Threads = 2
+	return cfg
+}
+
+// TestEngineDecomposeMatchesFreeFunctions: all four algorithms run through
+// Engine.Decompose via the registry, bit-identical to the deprecated free
+// functions (which also satisfies the < 1e-9 fitness-drift requirement).
+func TestEngineDecomposeMatchesFreeFunctions(t *testing.T) {
+	ten := engineTestTensor(1)
+	cfg := engineTestConfig()
+
+	eng := NewEngine(WithEngineThreads(3), WithBaseConfig(cfg))
+	defer eng.Close()
+	ctx := context.Background()
+
+	free := map[MethodID]func(*Irregular, Config) (*Result, error){
+		MethodDPar2: DPar2, MethodRDALS: RDALS, MethodALS: ALS, MethodSPARTan: SPARTan,
+	}
+	for id, fn := range free {
+		want, err := fn(ten, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Decompose(ctx, ten, WithMethod(id))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got.Fitness != want.Fitness {
+			t.Fatalf("%s: engine fitness %v != free function %v (drift %g)",
+				id, got.Fitness, want.Fitness, math.Abs(got.Fitness-want.Fitness))
+		}
+		if !got.H.EqualApprox(want.H, 0) || !got.V.EqualApprox(want.V, 0) {
+			t.Fatalf("%s: engine factors differ from free function", id)
+		}
+	}
+}
+
+// TestEngineSubmitConcurrentBitIdentical: >= 8 concurrent jobs (mixed
+// methods and seeds) on one shared pool produce exactly the results of
+// serial runs with the same options.
+func TestEngineSubmitConcurrentBitIdentical(t *testing.T) {
+	cfg := engineTestConfig()
+	eng := NewEngine(WithEngineThreads(4), WithBaseConfig(cfg), WithJobConcurrency(6))
+	defer eng.Close()
+	ctx := context.Background()
+
+	methods := []MethodID{MethodDPar2, MethodALS, MethodRDALS, MethodSPARTan}
+	const jobs = 12
+	type caseSpec struct {
+		ten    *Irregular
+		method MethodID
+		seed   uint64
+	}
+	cases := make([]caseSpec, jobs)
+	baselines := make([]*Result, jobs)
+	for i := range cases {
+		cases[i] = caseSpec{
+			ten:    engineTestTensor(uint64(i % 3)), // some jobs share a tensor
+			method: methods[i%len(methods)],
+			seed:   uint64(1 + i),
+		}
+		serialCfg := cfg
+		serialCfg.Seed = cases[i].seed
+		serialCfg.Threads = 1
+		var err error
+		switch cases[i].method {
+		case MethodDPar2:
+			baselines[i], err = DPar2(cases[i].ten, serialCfg)
+		case MethodALS:
+			baselines[i], err = ALS(cases[i].ten, serialCfg)
+		case MethodRDALS:
+			baselines[i], err = RDALS(cases[i].ten, serialCfg)
+		case MethodSPARTan:
+			baselines[i], err = SPARTan(cases[i].ten, serialCfg)
+		}
+		if err != nil {
+			t.Fatalf("baseline %d: %v", i, err)
+		}
+	}
+
+	pending := make([]<-chan JobResult, jobs)
+	for i, c := range cases {
+		pending[i] = eng.Submit(ctx, Job{
+			Tensor: c.ten,
+			Tag:    fmt.Sprint(i),
+			Options: []Option{
+				WithMethod(c.method), WithSeed(c.seed),
+			},
+		})
+	}
+	for i, ch := range pending {
+		jr := <-ch
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.Tag != fmt.Sprint(i) {
+			t.Fatalf("job %d: tag %q echoed wrong", i, jr.Tag)
+		}
+		if jr.Result.Fitness != baselines[i].Fitness {
+			t.Fatalf("job %d (%s): concurrent fitness %v != serial %v",
+				i, cases[i].method, jr.Result.Fitness, baselines[i].Fitness)
+		}
+		if !jr.Result.H.EqualApprox(baselines[i].H, 0) || !jr.Result.V.EqualApprox(baselines[i].V, 0) {
+			t.Fatalf("job %d (%s): concurrent factors differ from serial run", i, cases[i].method)
+		}
+	}
+}
+
+// TestEngineSubmitCancelledWhileQueued: a job whose context dies before a
+// worker picks it up delivers ctx.Err() instead of running.
+func TestEngineSubmitCancelledWhileQueued(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.MaxIters = 200
+	cfg.Tol = 0
+	// One worker, so the second job has to wait in the queue.
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(cfg), WithJobConcurrency(1))
+	defer eng.Close()
+
+	big := engineTestTensor(5)
+	first := eng.Submit(context.Background(), Job{Tensor: big, Tag: "long"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := eng.Submit(ctx, Job{Tensor: engineTestTensor(6), Tag: "queued"})
+	cancel()
+
+	jr := <-queued
+	if !errors.Is(jr.Err, context.Canceled) {
+		t.Fatalf("queued job err = %v, want context.Canceled", jr.Err)
+	}
+	if jr := <-first; jr.Err != nil {
+		t.Fatalf("long job: %v", jr.Err)
+	}
+}
+
+// TestEngineSubmitCancelledMidRun: cancelling a running job's context stops
+// the decomposition between iterations and delivers ctx.Err().
+func TestEngineSubmitCancelledMidRun(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.MaxIters = 10000
+	cfg.Tol = 0
+	eng := NewEngine(WithEngineThreads(2), WithBaseConfig(cfg))
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once bool
+	ch := eng.Submit(ctx, Job{
+		Tensor: engineTestTensor(7),
+		Tag:    "cancel-me",
+		Options: []Option{WithProgress(func(iter int, _ float64) bool {
+			if !once {
+				once = true
+				close(started)
+			}
+			return true
+		})},
+	})
+	<-started
+	cancel()
+	select {
+	case jr := <-ch:
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", jr.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled job did not return within 10s")
+	}
+}
+
+// TestEngineCloseSemantics: accepted jobs finish, later calls fail with
+// ErrEngineClosed, and Close is idempotent.
+func TestEngineCloseSemantics(t *testing.T) {
+	cfg := engineTestConfig()
+	eng := NewEngine(WithBaseConfig(cfg))
+	ctx := context.Background()
+	ten := engineTestTensor(8)
+
+	accepted := eng.Submit(ctx, Job{Tensor: ten, Tag: "accepted"})
+	eng.Close()
+	eng.Close() // idempotent
+
+	if jr := <-accepted; jr.Err != nil {
+		t.Fatalf("job accepted before Close must finish, got %v", jr.Err)
+	}
+	if jr := <-eng.Submit(ctx, Job{Tensor: ten}); !errors.Is(jr.Err, ErrEngineClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrEngineClosed", jr.Err)
+	}
+	if _, err := eng.Decompose(ctx, ten); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Decompose after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Compress(ctx, ten); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Compress after Close: err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineOptionValidation: invalid options surface as errors before any
+// work, with the offending value named.
+func TestEngineOptionValidation(t *testing.T) {
+	eng := NewEngine(WithEngineThreads(1))
+	defer eng.Close()
+	ctx := context.Background()
+	ten := engineTestTensor(9)
+
+	if _, err := eng.Decompose(ctx, ten, WithMethod("definitely-not-registered")); err == nil {
+		t.Fatal("unknown method must error")
+	}
+	if _, err := eng.Decompose(ctx, ten, WithRank(0)); err == nil {
+		t.Fatal("WithRank(0) must error")
+	}
+	if _, err := eng.Decompose(ctx, ten, WithMaxIters(-1)); err == nil {
+		t.Fatal("WithMaxIters(-1) must error")
+	}
+	if _, err := eng.Decompose(ctx, ten, WithTolerance(-0.1)); err == nil {
+		t.Fatal("WithTolerance(-0.1) must error")
+	}
+	if _, err := eng.Decompose(ctx, nil); err == nil {
+		t.Fatal("nil tensor must error")
+	}
+	// Aliases resolve through the registry like the CLI flag always did.
+	if _, err := eng.Decompose(ctx, ten, WithMethod("parafac2-als"), WithRank(4)); err != nil {
+		t.Fatalf("alias method: %v", err)
+	}
+}
+
+// TestEngineWithConfigCarriesKnobs: WithConfig ports an existing Config
+// (minus its Pool/Threads, which the Engine owns).
+func TestEngineWithConfigCarriesKnobs(t *testing.T) {
+	ten := engineTestTensor(10)
+	cfg := engineTestConfig()
+	cfg.Seed = 77
+	cfg.Threads = 99 // must be ignored by the engine
+
+	want, err := DPar2(ten, engineConfigSerial(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(WithEngineThreads(2))
+	defer eng.Close()
+	got, err := eng.Decompose(context.Background(), ten, WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fitness != want.Fitness {
+		t.Fatalf("WithConfig fitness %v != direct %v", got.Fitness, want.Fitness)
+	}
+}
+
+func engineConfigSerial(cfg Config) Config {
+	cfg.Threads = 1
+	cfg.Pool = nil
+	return cfg
+}
+
+// TestEngineNewStream: streaming runs on the engine pool end to end.
+func TestEngineNewStream(t *testing.T) {
+	g := NewRNG(11)
+	full := LowRankTensor(g, []int{50, 60, 45, 55, 65, 40}, 18, 3, 0.02)
+	first, err := NewIrregular(full.Slices[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(WithEngineThreads(2))
+	defer eng.Close()
+	ctx := context.Background()
+	stream, err := eng.NewStream(ctx, first, WithRank(3), WithMaxIters(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.AbsorbCtx(ctx, full.Slices[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if fit := eng.Fitness(full, stream.Result()); fit < 0.9 {
+		t.Fatalf("streamed fitness %v", fit)
+	}
+}
+
+// TestEngineCloseReleasesWorkers: an engine lifecycle (including cancelled
+// work) leaves no goroutines behind.
+func TestEngineCloseReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		eng := NewEngine(WithEngineThreads(4), WithJobConcurrency(3))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		<-eng.Submit(ctx, Job{Tensor: engineTestTensor(12)})
+		if _, err := eng.Decompose(context.Background(), engineTestTensor(13),
+			WithRank(3), WithMaxIters(2)); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d >> baseline %d after engine Close (leak)",
+		runtime.NumGoroutine(), before)
+}
+
+// TestEngineDPar2OnlyEndpoints: Compress/DecomposeCompressed/NewStream
+// accept MethodDPar2 in any registered spelling and reject other methods
+// loudly instead of silently running DPar2.
+func TestEngineDPar2OnlyEndpoints(t *testing.T) {
+	eng := NewEngine(WithEngineThreads(1))
+	defer eng.Close()
+	ctx := context.Background()
+	ten := engineTestTensor(14)
+
+	comp, err := eng.Compress(ctx, ten, WithMethod("DPar2"), WithRank(4)) // case variant
+	if err != nil {
+		t.Fatalf("Compress with case-variant method name: %v", err)
+	}
+	if _, err := eng.DecomposeCompressed(ctx, comp, WithMethod("DPAR2"), WithRank(4)); err != nil {
+		t.Fatalf("DecomposeCompressed with case-variant method name: %v", err)
+	}
+	if _, err := eng.DecomposeCompressed(ctx, comp, WithMethod(MethodALS)); err == nil {
+		t.Fatal("DecomposeCompressed must reject non-DPar2 methods")
+	}
+	if _, err := eng.NewStream(ctx, ten, WithMethod(MethodSPARTan)); err == nil {
+		t.Fatal("NewStream must reject non-DPar2 methods")
+	}
+	if _, err := eng.Compress(ctx, ten, WithMethod(MethodRDALS)); err == nil {
+		t.Fatal("Compress must reject non-DPar2 methods")
+	}
+}

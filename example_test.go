@@ -1,10 +1,64 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
+
+// ExampleEngine_Decompose is the canonical entry point: one Engine, any
+// registered method, cancellable through the context.
+func ExampleEngine_Decompose() {
+	eng := repro.NewEngine(repro.WithEngineThreads(1))
+	defer eng.Close()
+
+	g := repro.NewRNG(1)
+	ten := repro.LowRankTensor(g, []int{40, 60, 50}, 20, 3, 0)
+
+	res, err := eng.Decompose(context.Background(), ten,
+		repro.WithMethod(repro.MethodDPar2), // the default
+		repro.WithRank(3), repro.WithMaxIters(200), repro.WithTolerance(1e-12))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitness > 0.99: %v\n", res.Fitness > 0.99)
+	fmt.Printf("V shape: %dx%d\n", res.V.Rows, res.V.Cols)
+	// Output:
+	// fitness > 0.99: true
+	// V shape: 20x3
+}
+
+// ExampleEngine_Submit runs a batch of decompositions through the bounded
+// job queue on one shared pool — the multi-tenant serving path.
+func ExampleEngine_Submit() {
+	eng := repro.NewEngine(repro.WithEngineThreads(2))
+	defer eng.Close()
+	ctx := context.Background()
+
+	pending := make([]<-chan repro.JobResult, 3)
+	for i := range pending {
+		g := repro.NewRNG(uint64(i))
+		pending[i] = eng.Submit(ctx, repro.Job{
+			Tensor: repro.LowRankTensor(g, []int{30, 40, 35}, 15, 3, 0),
+			Tag:    fmt.Sprintf("job-%d", i),
+			Options: []repro.Option{
+				repro.WithRank(3), repro.WithMaxIters(100), repro.WithSeed(uint64(i)),
+			},
+		})
+	}
+	for _, ch := range pending {
+		jr := <-ch
+		if jr.Err != nil {
+			panic(jr.Err)
+		}
+		fmt.Printf("%s fit>0.9: %v\n", jr.Tag, jr.Result.Fitness > 0.9)
+	}
+	// Output:
+	// job-0 fit>0.9: true
+	// job-1 fit>0.9: true
+	// job-2 fit>0.9: true
+}
 
 // ExampleDPar2 decomposes a small irregular tensor and reports the fitness.
 func ExampleDPar2() {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 )
@@ -70,13 +71,13 @@ func main() {
 		}
 	}
 
-	cfg := repro.DefaultConfig()
+	eng := repro.NewEngine()
+	defer eng.Close()
 	// The healthy fleet is rank-1 (shared daily profile × per-sensor
 	// scale). A tight rank matters for detection: every spare component is
 	// a place the least-squares fit can hide one slice-specific fault
 	// pattern inside the shared V.
-	cfg.Rank = 1
-	res, err := repro.DPar2(ten, cfg)
+	res, err := eng.Decompose(context.Background(), ten, repro.WithRank(1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +25,17 @@ func main() {
 	fmt.Printf("tensor: K=%d slices, J=%d, heights %d..%d, %.1f MB dense\n",
 		ten.K(), ten.J, minInt(rows), maxInt(rows), float64(ten.SizeBytes())/(1<<20))
 
-	cfg := repro.DefaultConfig() // rank 10, ≤32 iterations, 6 threads
-	cfg.Seed = 42
+	// One Engine runs every method on one shared worker pool; each call is
+	// cancellable through its context.
+	eng := repro.NewEngine() // pool width = DefaultConfig().Threads (6)
+	defer eng.Close()
+	ctx := context.Background()
 
-	dp, err := repro.DPar2(ten, cfg)
+	dp, err := eng.Decompose(ctx, ten, repro.WithSeed(42)) // MethodDPar2 is the default
 	if err != nil {
 		log.Fatal(err)
 	}
-	als, err := repro.ALS(ten, cfg)
+	als, err := eng.Decompose(ctx, ten, repro.WithMethod(repro.MethodALS), repro.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

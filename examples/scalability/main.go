@@ -1,10 +1,13 @@
 // Scalability: a miniature of the paper's Fig. 11 — how DPar2's running
-// time grows with tensor size and rank compared to PARAFAC2-ALS.
+// time grows with tensor size and rank compared to PARAFAC2-ALS — plus the
+// Engine's batched job service running a fleet of decompositions against
+// one shared pool.
 //
 //	go run ./examples/scalability
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,23 +16,20 @@ import (
 )
 
 func main() {
-	cfg := repro.DefaultConfig()
-	cfg.MaxIters = 10
-	// One long-lived worker pool shared by every run below: the workers
-	// (and their warm scratch arenas) are reused instead of being
-	// re-created per decomposition. NewPool(n<=0) means GOMAXPROCS while
-	// Threads<=0 means serial, hence the clamp.
-	pool := repro.NewPool(max(1, cfg.Threads))
-	defer pool.Close()
-	cfg.Pool = pool
+	// One Engine for the whole run: its worker pool (and warm scratch
+	// arenas) are reused across every decomposition below instead of being
+	// re-created per call.
+	eng := repro.NewEngine(repro.WithEngineThreads(6))
+	defer eng.Close()
+	ctx := context.Background()
 
 	fmt.Println("== running time vs tensor size (I x J x K, rank 10) ==")
 	fmt.Printf("%-16s %12s %14s %8s\n", "size", "DPar2", "PARAFAC2-ALS", "ratio")
 	for _, s := range [][3]int{{60, 60, 20}, {120, 60, 20}, {120, 120, 20}, {120, 120, 40}} {
 		g := repro.NewRNG(1)
 		ten := repro.RandomTensor(g, s[0], s[1], s[2])
-		dp := mustRun(repro.DPar2, ten, cfg)
-		als := mustRun(repro.ALS, ten, cfg)
+		dp := mustRun(eng, ctx, ten, repro.WithMethod(repro.MethodDPar2), repro.WithMaxIters(10))
+		als := mustRun(eng, ctx, ten, repro.WithMethod(repro.MethodALS), repro.WithMaxIters(10))
 		fmt.Printf("%-16s %12v %14v %7.1fx\n",
 			fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]),
 			dp.Round(time.Millisecond), als.Round(time.Millisecond),
@@ -41,18 +41,47 @@ func main() {
 	g := repro.NewRNG(2)
 	ten := repro.RandomTensor(g, 120, 120, 40)
 	for _, r := range []int{5, 10, 20, 40} {
-		c := cfg
-		c.Rank = r
-		dp := mustRun(repro.DPar2, ten, c)
-		als := mustRun(repro.ALS, ten, c)
+		dp := mustRun(eng, ctx, ten,
+			repro.WithMethod(repro.MethodDPar2), repro.WithRank(r), repro.WithMaxIters(10))
+		als := mustRun(eng, ctx, ten,
+			repro.WithMethod(repro.MethodALS), repro.WithRank(r), repro.WithMaxIters(10))
 		fmt.Printf("%-6d %12v %14v %7.1fx\n", r,
 			dp.Round(time.Millisecond), als.Round(time.Millisecond),
 			als.Seconds()/dp.Seconds())
 	}
+
+	// The serving path: a "fleet" of 16 tensors decomposed through the
+	// bounded job queue, all sharing the one pool and its scratch arenas.
+	fmt.Println("\n== batched job service: 16 tensors through Engine.Submit ==")
+	fleet := make([]*repro.Irregular, 16)
+	for i := range fleet {
+		gi := repro.NewRNG(uint64(100 + i))
+		fleet[i] = repro.RandomTensor(gi, 100, 80, 24)
+	}
+	start := time.Now()
+	pending := make([]<-chan repro.JobResult, len(fleet))
+	for i, t := range fleet {
+		pending[i] = eng.Submit(ctx, repro.Job{
+			Tensor: t,
+			Tag:    fmt.Sprintf("tenant-%02d", i),
+			Options: []repro.Option{
+				repro.WithRank(10), repro.WithMaxIters(10), repro.WithSeed(uint64(i)),
+			},
+		})
+	}
+	for _, ch := range pending {
+		jr := <-ch
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Tag, jr.Err)
+		}
+		fmt.Printf("%s  fitness %.4f  %v\n", jr.Tag, jr.Result.Fitness,
+			jr.Result.TotalTime.Round(time.Millisecond))
+	}
+	fmt.Printf("fleet wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func mustRun(f func(*repro.Irregular, repro.Config) (*repro.Result, error), t *repro.Irregular, cfg repro.Config) time.Duration {
-	res, err := f(t, cfg)
+func mustRun(eng *repro.Engine, ctx context.Context, t *repro.Irregular, opts ...repro.Option) time.Duration {
+	res, err := eng.Decompose(ctx, t, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,27 +22,33 @@ func main() {
 	fmt.Printf("spectrogram tensor: K=%d songs, J=%d bins, %.1f MB dense\n",
 		ten.K(), ten.J, float64(ten.SizeBytes())/(1<<20))
 
-	cfg := repro.DefaultConfig()
-	cfg.Rank = 10
+	eng := repro.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+	const rank = 10
 
-	// Compress once, reuse for two runs (e.g. hyperparameter exploration).
-	comp := repro.Compress(ten, cfg)
+	// Compress once, reuse for any number of iteration runs (e.g.
+	// hyperparameter exploration) on the same Engine pool.
+	comp, err := eng.Compress(ctx, ten, repro.WithRank(rank))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("two-stage compression: %.2f MB (%.0fx smaller than input)\n",
 		float64(comp.SizeBytes())/(1<<20),
 		float64(ten.SizeBytes())/float64(comp.SizeBytes()))
 
-	res, err := repro.DPar2FromCompressed(comp, cfg)
+	res, err := eng.DecomposeCompressed(ctx, comp, repro.WithRank(rank))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fit := repro.Fitness(ten, res)
+	fit := eng.Fitness(ten, res)
 	fmt.Printf("DPar2: fitness %.4f, %d iterations, iteration phase %v\n\n",
 		fit, res.Iters, res.IterTime.Round(1e6))
 
 	// The rows of V are per-frequency latent loadings: dominant bins per
 	// component show which spectral bands each component captures.
 	fmt.Println("dominant frequency bins per component (|V| column peaks):")
-	for r := 0; r < cfg.Rank; r++ {
+	for r := 0; r < rank; r++ {
 		col := res.V.Col(r)
 		best, bestAbs := 0, 0.0
 		for b, v := range col {

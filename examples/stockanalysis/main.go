@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,8 +22,10 @@ import (
 )
 
 func main() {
-	cfg := repro.DefaultConfig()
-	cfg.Seed = 11
+	// One Engine (and its worker pool) serves both market analyses.
+	eng := repro.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
 
 	for _, market := range []struct {
 		name string
@@ -30,7 +33,7 @@ func main() {
 	}{{"US-style market", repro.USMarket()}, {"KR-style market", repro.KRMarket()}} {
 		g := repro.NewRNG(99)
 		ten, sectors := repro.NewStockTensor(g, 60, 120, 800, market.m)
-		res, err := repro.DPar2(ten, cfg)
+		res, err := eng.Decompose(ctx, ten, repro.WithSeed(11))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,9 +25,11 @@ func main() {
 	}
 	full := repro.LowRankTensor(g, rows, 40, 8, 0.03)
 
-	cfg := repro.DefaultConfig()
-	cfg.Rank = 8
-	cfg.MaxIters = 20
+	// One Engine hosts both the stream and the from-scratch comparison run.
+	eng := repro.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+	opts := []repro.Option{repro.WithRank(8), repro.WithMaxIters(20)}
 
 	// Bootstrap with the first 12 slices.
 	first, err := repro.NewIrregular(full.Slices[:12])
@@ -34,25 +37,28 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	stream, err := repro.NewStreamingDPar2(first, cfg)
+	stream, err := eng.NewStream(ctx, first, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bootstrap: K=%2d  fitness(all seen)=%.4f  (%v)\n",
 		stream.K(), fitnessOverSeen(full, stream), time.Since(start).Round(time.Millisecond))
 
-	// Absorb the rest in batches of 6, as if they arrived over time.
+	// Absorb the rest in batches of 6, as if they arrived over time. Each
+	// absorb warm-starts from the previous factors and runs at most
+	// stream.RefreshIters iterations instead of the full 20.
 	for lo := 12; lo < 48; lo += 6 {
 		batchStart := time.Now()
-		if err := stream.Absorb(full.Slices[lo : lo+6]); err != nil {
+		if err := stream.AbsorbCtx(ctx, full.Slices[lo:lo+6]); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("absorb 6 : K=%2d  fitness(all seen)=%.4f  (%v)\n",
-			stream.K(), fitnessOverSeen(full, stream), time.Since(batchStart).Round(time.Millisecond))
+		fmt.Printf("absorb 6 : K=%2d  fitness(all seen)=%.4f  (%v, %d warm iters)\n",
+			stream.K(), fitnessOverSeen(full, stream),
+			time.Since(batchStart).Round(time.Millisecond), stream.Result().Iters)
 	}
 
 	// Compare against decomposing the full tensor from scratch.
-	batch, err := repro.DPar2(full, cfg)
+	batch, err := eng.Decompose(ctx, full, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

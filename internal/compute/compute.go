@@ -55,9 +55,10 @@ type Pool struct {
 	closed atomic.Bool
 }
 
-// NewPool returns a pool of width n (n <= 0 means runtime.GOMAXPROCS(0);
-// note parafac2.Config.Threads <= 0 means serial instead — clamp when
-// deriving one from the other). A single submitter runs at most w tasks
+// NewPool returns a pool of width n (n <= 0 means runtime.GOMAXPROCS(0) —
+// the natural default for a pool sized explicitly). Widths derived from a
+// thread count must go through WidthFromThreads/NewPoolFromThreads instead,
+// where <= 0 means serial. A single submitter runs at most w tasks
 // concurrently, counting itself. Call Close when done to release the worker
 // goroutines; a pool is cheap enough to hold for the life of the process.
 func NewPool(n int) *Pool {
@@ -74,6 +75,28 @@ func NewPool(n int) *Pool {
 		}
 	}
 	return p
+}
+
+// WidthFromThreads maps a Config-style thread count to a pool width under
+// the repository's single clamping rule: threads <= 0 means serial (width 1),
+// any positive value is the width verbatim. This is the ONLY place the
+// "Threads <= 0 is serial" convention is interpreted; NewPool's own n <= 0 =
+// GOMAXPROCS default applies exclusively to pools a caller sizes explicitly,
+// never to widths derived from a thread count. Every layer that turns a
+// Config.Threads (or a -threads flag) into a pool must go through this
+// helper or NewPoolFromThreads.
+func WidthFromThreads(threads int) int {
+	if threads < 1 {
+		return 1
+	}
+	return threads
+}
+
+// NewPoolFromThreads builds a pool from a Config-style thread count under the
+// WidthFromThreads rule (threads <= 0 → a serial width-1 pool, never
+// GOMAXPROCS). Close it when done.
+func NewPoolFromThreads(threads int) *Pool {
+	return NewPool(WidthFromThreads(threads))
 }
 
 // Default returns a process-wide pool of width GOMAXPROCS, created on first

@@ -184,3 +184,17 @@ func TestArenaConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestWidthFromThreadsClampRule(t *testing.T) {
+	// The single rule: threads <= 0 is serial, positive is verbatim.
+	for threads, want := range map[int]int{-5: 1, 0: 1, 1: 1, 2: 2, 16: 16} {
+		if got := WidthFromThreads(threads); got != want {
+			t.Fatalf("WidthFromThreads(%d) = %d, want %d", threads, got, want)
+		}
+	}
+	p := NewPoolFromThreads(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("NewPoolFromThreads(0) width %d, want serial (1)", p.Workers())
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datagen"
@@ -16,8 +17,8 @@ var fig12Features = []string{"OPENING", "HIGHEST", "LOWEST", "CLOSING", "ATR14",
 // Fig12 decomposes a stock tensor and returns the Pearson-correlation
 // submatrix between the latent vectors (rows of V) of the 8 selected
 // features, plus the feature labels.
-func Fig12(d Dataset, cfg parafac2.Config) (*mat.Dense, []string, error) {
-	res, err := parafac2.DPar2(d.Tensor, cfg)
+func Fig12(ctx context.Context, d Dataset, cfg parafac2.Config) (*mat.Dense, []string, error) {
+	res, err := parafac2.DPar2Ctx(ctx, d.Tensor, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -96,8 +97,8 @@ type TableIIIResult struct {
 // tensor, compute Equation-(10) similarities between stocks whose U_k share
 // the target's shape, then rank by k-NN and by RWR over the similarity
 // graph. target picks the query stock (the paper uses Microsoft).
-func TableIII(d Dataset, cfg parafac2.Config, target, topK int, gamma float64) (*TableIIIResult, error) {
-	res, err := parafac2.DPar2(d.Tensor, cfg)
+func TableIII(ctx context.Context, d Dataset, cfg parafac2.Config, target, topK int, gamma float64) (*TableIIIResult, error) {
+	res, err := parafac2.DPar2Ctx(ctx, d.Tensor, cfg)
 	if err != nil {
 		return nil, err
 	}

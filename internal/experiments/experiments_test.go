@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestLoadByName(t *testing.T) {
 
 func TestFig1OnSubset(t *testing.T) {
 	ds := LoadAll(2, ScaleTest)[:2]
-	results, err := Fig1(ds, []int{4}, testConfig())
+	results, err := Fig1(context.Background(), ds, []int{4}, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig1OnSubset(t *testing.T) {
 
 func TestFig9And10Tables(t *testing.T) {
 	ds := LoadAll(3, ScaleTest)[:2]
-	results, err := Fig9(ds, testConfig())
+	results, err := Fig9(context.Background(), ds, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFig11aSizes(t *testing.T) {
 }
 
 func TestFig11aSweepTiny(t *testing.T) {
-	pts, err := Fig11a(4, [][3]int{{20, 15, 6}, {25, 15, 8}}, testConfig())
+	pts, err := Fig11a(context.Background(), 4, [][3]int{{20, 15, 6}, {25, 15, 8}}, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFig11aSweepTiny(t *testing.T) {
 }
 
 func TestFig11bSweepTiny(t *testing.T) {
-	pts, err := Fig11b(5, 25, 20, 6, []int{3, 5}, testConfig())
+	pts, err := Fig11b(context.Background(), 5, 25, 20, 6, []int{3, 5}, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestFig11bSweepTiny(t *testing.T) {
 }
 
 func TestFig11cSweepTiny(t *testing.T) {
-	pts, err := Fig11c(6, 30, 20, 8, []int{1, 2}, testConfig())
+	pts, err := Fig11c(context.Background(), 6, 30, 20, 8, []int{1, 2}, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestTableII(t *testing.T) {
 
 func TestFig12CorrelationStructure(t *testing.T) {
 	us, _ := Load(9, ScaleTest, "US Stock")
-	corr, labels, err := Fig12(us, testConfig())
+	corr, labels, err := Fig12(context.Background(), us, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestTableIIIDiscovery(t *testing.T) {
 			target = i
 		}
 	}
-	res, err := TableIII(us, testConfig(), target, 3, 0.01)
+	res, err := TableIII(context.Background(), us, testConfig(), target, 3, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,11 +267,11 @@ func TestFig12MarketContrast(t *testing.T) {
 	krTen, krSec := datagen.StockTensor(rng.New(22), 50, 150, 700, datagen.DefaultKRMarket())
 	us := Dataset{Name: "US Stock", Tensor: usTen, Sectors: usSec}
 	kr := Dataset{Name: "KR Stock", Tensor: krTen, Sectors: krSec}
-	usCorr, usLabels, err := Fig12(us, cfg)
+	usCorr, usLabels, err := Fig12(context.Background(), us, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	krCorr, krLabels, err := Fig12(kr, cfg)
+	krCorr, krLabels, err := Fig12(context.Background(), kr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,21 +9,38 @@ import (
 	"repro/internal/tensor"
 )
 
-// Method pairs a method name with its runner, in the order the paper's
-// legends use.
+// Method pairs a display name (the paper's legend label) with a
+// context-aware runner, in the order the paper's legends use.
 type Method struct {
 	Name string
-	Run  func(*tensor.Irregular, parafac2.Config) (*parafac2.Result, error)
+	Run  func(context.Context, *tensor.Irregular, parafac2.Config) (*parafac2.Result, error)
 }
 
-// Methods returns the four compared decomposers.
+// displayNames maps registry names to the paper's legend labels.
+var displayNames = map[string]string{
+	"dpar2":   "DPar2",
+	"rd-als":  "RD-ALS",
+	"als":     "PARAFAC2-ALS",
+	"spartan": "SPARTan",
+}
+
+// Methods returns the compared decomposers, resolved from the parafac2
+// method registry in registration (= legend) order.
 func Methods() []Method {
-	return []Method{
-		{"DPar2", parafac2.DPar2},
-		{"RD-ALS", parafac2.RDALS},
-		{"PARAFAC2-ALS", parafac2.ALS},
-		{"SPARTan", parafac2.SPARTan},
+	names := parafac2.MethodNames()
+	out := make([]Method, 0, len(names))
+	for _, name := range names {
+		impl, ok := parafac2.Lookup(name)
+		if !ok {
+			continue
+		}
+		label := displayNames[name]
+		if label == "" {
+			label = name
+		}
+		out = append(out, Method{Name: label, Run: impl.Decompose})
 	}
+	return out
 }
 
 // MethodResult is one (dataset, method, rank) measurement.
@@ -42,8 +60,8 @@ type MethodResult struct {
 	PreprocessedBytes int64
 }
 
-func runOne(d Dataset, m Method, cfg parafac2.Config) (MethodResult, error) {
-	res, err := m.Run(d.Tensor, cfg)
+func runOne(ctx context.Context, d Dataset, m Method, cfg parafac2.Config) (MethodResult, error) {
+	res, err := m.Run(ctx, d.Tensor, cfg)
 	if err != nil {
 		return MethodResult{}, fmt.Errorf("%s on %s: %w", m.Name, d.Name, err)
 	}
@@ -67,15 +85,16 @@ func runOne(d Dataset, m Method, cfg parafac2.Config) (MethodResult, error) {
 }
 
 // Fig1 measures the running time vs fitness trade-off of all methods on all
-// datasets for the given target ranks (the paper uses 10, 15, 20).
-func Fig1(datasets []Dataset, ranks []int, base parafac2.Config) ([]MethodResult, error) {
+// datasets for the given target ranks (the paper uses 10, 15, 20). The
+// context cancels the sweep between (and inside) runs.
+func Fig1(ctx context.Context, datasets []Dataset, ranks []int, base parafac2.Config) ([]MethodResult, error) {
 	var out []MethodResult
 	for _, d := range datasets {
 		for _, r := range ranks {
 			cfg := base
 			cfg.Rank = r
 			for _, m := range Methods() {
-				mr, err := runOne(d, m, cfg)
+				mr, err := runOne(ctx, d, m, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -104,11 +123,11 @@ func Fig1Table(results []MethodResult) *Table {
 
 // Fig9 measures preprocessing time (DPar2 vs RD-ALS, Fig. 9a) and time per
 // iteration of every method (Fig. 9b) at the base rank.
-func Fig9(datasets []Dataset, base parafac2.Config) ([]MethodResult, error) {
+func Fig9(ctx context.Context, datasets []Dataset, base parafac2.Config) ([]MethodResult, error) {
 	var out []MethodResult
 	for _, d := range datasets {
 		for _, m := range Methods() {
-			mr, err := runOne(d, m, base)
+			mr, err := runOne(ctx, d, m, base)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,7 +40,7 @@ func Fig11aSizes(shrink int) [][3]int {
 }
 
 // Fig11a runs the tensor-size scalability sweep with all methods.
-func Fig11a(seed uint64, sizes [][3]int, base parafac2.Config) ([]SizePoint, error) {
+func Fig11a(ctx context.Context, seed uint64, sizes [][3]int, base parafac2.Config) ([]SizePoint, error) {
 	var out []SizePoint
 	for _, s := range sizes {
 		g := rng.New(seed)
@@ -50,7 +51,7 @@ func Fig11a(seed uint64, sizes [][3]int, base parafac2.Config) ([]SizePoint, err
 			Times:    map[string]time.Duration{},
 		}
 		for _, m := range Methods() {
-			res, err := m.Run(ten, base)
+			res, err := m.Run(ctx, ten, base)
 			if err != nil {
 				return nil, fmt.Errorf("fig11a %v %s: %w", s, m.Name, err)
 			}
@@ -99,7 +100,7 @@ type RankPoint struct {
 }
 
 // Fig11b sweeps the target rank on a fixed synthetic tensor.
-func Fig11b(seed uint64, i, j, k int, ranks []int, base parafac2.Config) ([]RankPoint, error) {
+func Fig11b(ctx context.Context, seed uint64, i, j, k int, ranks []int, base parafac2.Config) ([]RankPoint, error) {
 	g := rng.New(seed)
 	ten := datagen.RandomIrregular(g, i, j, k)
 	var out []RankPoint
@@ -108,7 +109,7 @@ func Fig11b(seed uint64, i, j, k int, ranks []int, base parafac2.Config) ([]Rank
 		cfg.Rank = r
 		pt := RankPoint{Rank: r, Times: map[string]time.Duration{}}
 		for _, m := range Methods() {
-			res, err := m.Run(ten, cfg)
+			res, err := m.Run(ctx, ten, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig11b rank %d %s: %w", r, m.Name, err)
 			}
@@ -161,7 +162,7 @@ type ThreadPoint struct {
 // On a single-core host the speedup cannot materialize in wall-clock time;
 // the table still reports the measured times plus the scheduler's load
 // imbalance, which is the controllable part of multi-core scaling.
-func Fig11c(seed uint64, i, j, k int, threadCounts []int, base parafac2.Config) ([]ThreadPoint, error) {
+func Fig11c(ctx context.Context, seed uint64, i, j, k int, threadCounts []int, base parafac2.Config) ([]ThreadPoint, error) {
 	g := rng.New(seed)
 	ten := datagen.RandomIrregular(g, i, j, k)
 	var out []ThreadPoint
@@ -169,7 +170,8 @@ func Fig11c(seed uint64, i, j, k int, threadCounts []int, base parafac2.Config) 
 	for _, th := range threadCounts {
 		cfg := base
 		cfg.Threads = th
-		res, err := parafac2.DPar2(ten, cfg)
+		cfg.Pool = nil // the sweep measures pool width, so each run builds its own
+		res, err := parafac2.DPar2Ctx(ctx, ten, cfg)
 		if err != nil {
 			return nil, err
 		}

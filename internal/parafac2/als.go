@@ -1,6 +1,7 @@
 package parafac2
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/compute"
@@ -20,6 +21,13 @@ import (
 // because of those per-iteration passes over {X_k}, which is the cost DPar2
 // removes.
 func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
+	return ALSCtx(context.Background(), t, cfg)
+}
+
+// ALSCtx is ALS with cancellation: the context is checked before every ALS
+// iteration and between the parallel phases inside one (Q update, projection,
+// CP sweep, convergence pass); the unwrapped ctx.Err() is returned promptly.
+func ALSCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
@@ -41,8 +49,14 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	iterStart := time.Now()
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iters = it + 1
-		updateQALS(t, h, v, s, q, pool)
+		updateQALS(ctx, t, h, v, s, q, pool)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Build the projected tensor Y_k = Q_kᵀ X_k (R × J).
 		ySlices := make([]*mat.Dense, k)
@@ -53,6 +67,9 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 
 		// One CP-ALS sweep on Y updates H (mode 1), V (mode 2), W (mode 3).
 		h, v = cpSweep(y, h, v, s, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Convergence: full reconstruction error (this is what makes the
 		// baseline's per-iteration cost high — Section IV-B).
@@ -81,11 +98,16 @@ func ALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 // updateQALS refreshes every Q_k: Q_k ← Z'_k P'_kᵀ where
 // Z'_k Σ' P'_kᵀ = SVD(X_k V S_k Hᵀ) truncated at rank R (lines 4-5, Alg. 2).
 // This is the polar-factor solution of the orthogonal Procrustes problem.
-func updateQALS(t *tensor.Irregular, h, v *mat.Dense, s [][]float64, q []*mat.Dense, pool *compute.Pool) {
+// A cancelled ctx skips the remaining slices (callers re-check ctx after the
+// phase and discard the partial update).
+func updateQALS(ctx context.Context, t *tensor.Irregular, h, v *mat.Dense, s [][]float64, q []*mat.Dense, pool *compute.Pool) {
 	r := h.Rows
 	arena := compute.Shared()
 	// VS_kHᵀ is J×R; precompute V once per k with the diagonal folded in.
 	pool.RunPartitioned(scheduler.Partition(t.Rows(), pool.Workers()), func(k int) {
+		if ctx.Err() != nil {
+			return
+		}
 		vs := arena.GetUninit(v.Rows, v.Cols)
 		v.ScaleColumnsInto(vs, s[k])
 		vsh := arena.GetUninit(v.Rows, h.Rows)

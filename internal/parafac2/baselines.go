@@ -1,6 +1,7 @@
 package parafac2
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/compute"
@@ -27,7 +28,17 @@ import (
 // reconstruction error against the original tensor each iteration, which
 // keeps its per-iteration cost proportional to the input size.
 func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
+	return RDALSCtx(context.Background(), t, cfg)
+}
+
+// RDALSCtx is RDALS with cancellation: the context is checked before the
+// deterministic preprocessing, before every ALS iteration, and between the
+// parallel phases inside one; the unwrapped ctx.Err() is returned promptly.
+func RDALSCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	pool, done := cfg.runtimePool()
@@ -45,6 +56,9 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	svd := lapack.TruncatedWith(wide, r, pool)
 	uc := svd.U // J × R, column orthonormal
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	reduced := make([]*mat.Dense, k)
 	pool.RunPartitioned(scheduler.Partition(t.Rows(), pool.Workers()), func(kk int) {
 		reduced[kk] = t.Slices[kk].Mul(uc) // I_k × R
@@ -65,8 +79,14 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 	iterStart := time.Now()
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iters = it + 1
-		updateQALS(rt, h, vTilde, s, q, pool)
+		updateQALS(ctx, rt, h, vTilde, s, q, pool)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		ySlices := make([]*mat.Dense, k)
 		pool.ParallelFor(k, func(kk int) {
@@ -74,6 +94,9 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 		})
 		y := tensor.MustDense3(ySlices)
 		h, vTilde = cpSweep(y, h, vTilde, s, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Convergence on the FULL reconstruction error (the defining
 		// inefficiency of RD-ALS's iteration phase).
@@ -108,6 +131,13 @@ func RDALS(t *tensor.Irregular, cfg Config) (*Result, error) {
 // (it exploits *sparsity* for its headline wins, which dense data lacks —
 // the very observation motivating DPar2).
 func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
+	return SPARTanCtx(context.Background(), t, cfg)
+}
+
+// SPARTanCtx is SPARTan with cancellation: the context is checked before
+// every ALS iteration and between the parallel phases inside one; the
+// unwrapped ctx.Err() is returned promptly.
+func SPARTanCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
@@ -126,8 +156,14 @@ func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
 	iterStart := time.Now()
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iters = it + 1
-		updateQALS(t, h, v, s, q, pool)
+		updateQALS(ctx, t, h, v, s, q, pool)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// Slice-parallel fused MTTKRP accumulation: each worker owns a
 		// block of slices and accumulates partial G⁽¹⁾/G⁽²⁾/G⁽³⁾ without
@@ -146,6 +182,9 @@ func SPARTan(t *tensor.Irregular, cfg Config) (*Result, error) {
 		w = solveUpdate(g3, v.Gram().HadamardInPlace(h.Gram()), cfg)
 		projectW(w, cfg)
 		unpackW(w, s)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		cur := reconstructionError2(t, q, h, v, s, pool)
 		if cfg.TrackConvergence {

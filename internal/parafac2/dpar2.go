@@ -1,6 +1,7 @@
 package parafac2
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/compute"
@@ -55,12 +56,23 @@ func (c *Compressed) SliceApprox(k int) *mat.Dense {
 // Stage 1 is parallelized with the greedy slice partition of Algorithm 4,
 // because the randomized-SVD cost of slice k is proportional to I_k.
 func Compress(t *tensor.Irregular, cfg Config) *Compressed {
-	pool, done := cfg.runtimePool()
-	defer done()
-	return compressWith(t, cfg, pool)
+	c, _ := CompressCtx(context.Background(), t, cfg)
+	return c
 }
 
-func compressWith(t *tensor.Irregular, cfg Config, pool *compute.Pool) *Compressed {
+// CompressCtx is Compress with cancellation: the context is checked before
+// each compression phase and between per-slice sketches, and the unwrapped
+// ctx.Err() is returned as soon as it is observed.
+func CompressCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Compressed, error) {
+	pool, done := cfg.runtimePool()
+	defer done()
+	return compressWith(ctx, t, cfg, pool)
+}
+
+func compressWith(ctx context.Context, t *tensor.Irregular, cfg Config, pool *compute.Pool) (*Compressed, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := rng.New(cfg.Seed)
 	r := cfg.Rank
 	k := t.K()
@@ -75,27 +87,37 @@ func compressWith(t *tensor.Irregular, cfg Config, pool *compute.Pool) *Compress
 
 	// Stage 1: per-slice randomized SVD, load-balanced by row count. The
 	// slices are the unit of parallelism here, so the kernels inside each
-	// decomposition run serially (opts.Runner is nil).
+	// decomposition run serially (opts.Runner is nil). A cancelled context
+	// skips the remaining sketches; the partial arrays are discarded below.
 	a := make([]*mat.Dense, k)
 	cb := make([]*mat.Dense, k) // C_k B_k, J × R
 	buckets := scheduler.Partition(t.Rows(), pool.Workers())
 	pool.RunPartitioned(buckets, func(kk int) {
+		if ctx.Err() != nil {
+			return
+		}
 		d := rsvd.Decompose(gens[kk], t.Slices[kk], r, opts)
 		a[kk] = d.U
 		cb[kk] = d.V.ScaleColumns(d.S) // C_k B_k
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: randomized SVD of M = ‖_k (C_k B_k) ∈ R^{J×KR}. One big
 	// factorization — hand the pool to its kernels instead.
 	m := mat.HConcat(cb...)
 	opts.Runner = pool
 	d2 := rsvd.Decompose(g, m, r, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	f := make([]*mat.Dense, k)
 	for kk := 0; kk < k; kk++ {
 		f[kk] = d2.V.RowBlock(kk*r, (kk+1)*r)
 	}
-	return &Compressed{A: a, D: d2.U, E: d2.S, F: f, J: t.J, Rank: r}
+	return &Compressed{A: a, D: d2.U, E: d2.S, F: f, J: t.J, Rank: r}, nil
 }
 
 // DPar2 runs the full method of the paper (Algorithm 3): two-stage
@@ -104,6 +126,14 @@ func compressWith(t *tensor.Irregular, cfg Config, pool *compute.Pool) *Compress
 // Per iteration (Lemmas 1-3) the cost is O(JR² + KR³) — independent of the
 // slice heights I_k — versus O(Σ_k I_k J R) for PARAFAC2-ALS.
 func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
+	return DPar2Ctx(context.Background(), t, cfg)
+}
+
+// DPar2Ctx is DPar2 with cancellation: the context is checked between
+// compression phases, before every ALS iteration, and between the parallel
+// phases inside one iteration. On cancellation the unwrapped ctx.Err() is
+// returned promptly and any transient pool is released.
+func DPar2Ctx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error) {
 	if err := cfg.validate(t); err != nil {
 		return nil, err
 	}
@@ -112,10 +142,13 @@ func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
 	cfg.Pool = pool // one pool for both phases and the fitness pass
 
 	start := time.Now()
-	comp := compressWith(t, cfg, pool)
+	comp, err := compressWith(ctx, t, cfg, pool)
+	if err != nil {
+		return nil, err
+	}
 	preprocess := time.Since(start)
 
-	res, err := DPar2FromCompressed(comp, cfg)
+	res, err := dpar2Iterate(ctx, comp, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -130,11 +163,53 @@ func DPar2(t *tensor.Irregular, cfg Config) (*Result, error) {
 // across runs (e.g. rank sweeps over the same data) and so benchmarks can
 // time the phases independently.
 //
+// Result.Fitness is a compressed-space estimate: 1 − e/‖X̃‖², where e is the
+// final convergence measure and X̃ the compressed approximation the iteration
+// sees (the input tensor itself is not available here). Because A_k, D, Z_k,
+// and P_k all have orthonormal columns this is the exact fitness of the
+// factorization against X̃; it differs from the fitness against the original
+// tensor only by the (one-time) compression error. Use Fitness for the
+// latter when the tensor is at hand.
+//
 // All per-slice working state is allocated once up front and every kernel in
 // the loop writes into preallocated or arena scratch, so the steady-state
 // iteration performs (nearly) zero heap allocations.
 func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
+	return DPar2FromCompressedCtx(context.Background(), comp, cfg)
+}
+
+// DPar2FromCompressedCtx is DPar2FromCompressed with cancellation (see
+// DPar2Ctx for the check points).
+func DPar2FromCompressedCtx(ctx context.Context, comp *Compressed, cfg Config) (*Result, error) {
+	return dpar2Iterate(ctx, comp, cfg, nil)
+}
+
+// warmStart seeds the iteration phase with factors from a previous run over
+// (a prefix of) the same data — the streaming refresh path. H, V, and S live
+// in basis-independent spaces (H is the R×R common matrix, V is J×R, S_k are
+// the diagonal weights), so they survive the basis rotation Append applies
+// to the compressed representation. S rows beyond len(s) (newly absorbed
+// slices) keep the cold-start all-ones initialization.
+type warmStart struct {
+	h *mat.Dense
+	v *mat.Dense
+	s [][]float64
+}
+
+// compatible reports whether the warm factors match the compressed shape.
+func (w *warmStart) compatible(comp *Compressed) bool {
+	r := comp.Rank
+	return w != nil && w.h != nil && w.v != nil &&
+		w.h.Rows == r && w.h.Cols == r &&
+		w.v.Rows == comp.J && w.v.Cols == r
+}
+
+// dpar2Iterate is the iteration phase of Algorithm 3, optionally warm-started.
+func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmStart) (*Result, error) {
 	iterStart := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pool, done := cfg.runtimePool()
 	defer done()
 	arena := compute.Shared()
@@ -143,6 +218,15 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 	k := len(comp.A)
 
 	h, v, s := initCommon(g, comp.J, k, r)
+	if warm.compatible(comp) {
+		h = warm.h.Clone()
+		v = warm.v.Clone()
+		for kk := range s {
+			if kk < len(warm.s) && len(warm.s[kk]) == r {
+				copy(s[kk], warm.s[kk])
+			}
+		}
+	}
 
 	// Per-slice R×R working state (Z_k, P_k, and T_k = P_k Z_kᵀ F⁽ᵏ⁾, the
 	// factor of Y_k), allocated once and overwritten in place each
@@ -166,6 +250,9 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 
 	prev := -1.0
 	for it := 0; it < cfg.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iters = it + 1
 
 		// DᵀV is shared by the Q_k update and Lemma 1.
@@ -187,6 +274,9 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 			t2.MulInto(tf[kk], comp.F[kk], nil)
 			arena.Put(t1, t2)
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		// --- One CP-ALS sweep via Lemmas 1-3 --------------------------
 		w := wMatrix(s)
@@ -205,6 +295,9 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 
 		// Lemma 3: G⁽³⁾(k,r) = H(:,r)ᵀ T_k E DᵀV(:,r), recomputed with
 		// the fresh V.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		comp.D.TMulInto(dtv, v, pool)
 		lemma3Into(g3, tf, comp.E, dtv, h, pool, arena)
 		v.GramInto(ga)
@@ -231,6 +324,10 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 		prev = cur
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Materialize Q_k = A_k Z_k P_kᵀ (line 25 materializes U_k = Q_k H).
 	q := make([]*mat.Dense, k)
 	pool.ParallelFor(k, func(kk int) {
@@ -241,8 +338,37 @@ func DPar2FromCompressed(comp *Compressed, cfg Config) (*Result, error) {
 	})
 
 	res.H, res.V, res.Q = h, v, q
+	// Compressed-space fitness: prev is the final convergence measure
+	// Σ_k ‖Q_kᵀX̃_k − H S_k Vᵀ‖², which equals the full compressed error
+	// Σ_k ‖X̃_k − Q_k H S_k Vᵀ‖² because Z_k and P_k are square orthogonal
+	// (so Q_kᵀ loses nothing of X̃_k). ‖X̃‖² = Σ_k ‖F⁽ᵏ⁾E‖² by the
+	// orthonormality of A_k and D. Callers with the original tensor at hand
+	// (DPar2) overwrite this with the true fitness.
+	if prev >= 0 {
+		if n := comp.Norm2(); n > 0 {
+			res.Fitness = 1 - prev/n
+		} else {
+			res.Fitness = 1
+		}
+	}
 	res.IterTime = time.Since(iterStart)
 	return res, nil
+}
+
+// Norm2 returns ‖X̃‖_F² = Σ_k ‖F⁽ᵏ⁾E‖_F² of the compressed approximation
+// (exact because A_k and D have orthonormal columns).
+func (c *Compressed) Norm2() float64 {
+	var total float64
+	for _, f := range c.F {
+		for i := 0; i < f.Rows; i++ {
+			row := f.Row(i)
+			for j, v := range row {
+				fe := v * c.E[j]
+				total += fe * fe
+			}
+		}
+	}
+	return total
 }
 
 // lemma1Into computes G⁽¹⁾ = Y(1)(W ⊙ V) ∈ R^{R×R} without reconstructing

@@ -1,0 +1,117 @@
+package parafac2
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Method is one registered PARAFAC2 decomposition algorithm. All four
+// algorithms of the paper's evaluation (DPar2 and the RD-ALS / PARAFAC2-ALS /
+// SPARTan baselines) are implementations of this interface, registered under
+// a canonical name; the repro.Engine dispatches through the registry instead
+// of four parallel entry points.
+//
+// Decompose must honor ctx: implementations check it between ALS iterations
+// and between parallel phases, and return ctx.Err() (unwrapped) when it is
+// done. They must be safe for concurrent use — per-call state only, shared
+// pools via Config.Pool.
+type Method interface {
+	// Name returns the canonical registry name (lowercase, e.g. "dpar2").
+	Name() string
+	// Decompose runs the algorithm on t under cfg, stopping early with
+	// ctx.Err() when ctx is cancelled or its deadline passes.
+	Decompose(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error)
+}
+
+// methodFunc adapts a context-aware decomposition function to Method.
+type methodFunc struct {
+	name string
+	run  func(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error)
+}
+
+func (m methodFunc) Name() string { return m.name }
+
+func (m methodFunc) Decompose(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, error) {
+	return m.run(ctx, t, cfg)
+}
+
+var (
+	registryMu    sync.RWMutex
+	registry      = map[string]Method{} // canonical name and aliases → Method
+	registryOrder []string              // canonical names, registration order
+)
+
+// Register adds a Method under its canonical Name plus any aliases
+// (e.g. "parafac2-als" for "als"). Names are case-insensitive. Register
+// panics on a duplicate name: registration happens in package init, so a
+// collision is a programming error, not a runtime condition.
+func Register(m Method, aliases ...string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	canon := canonicalName(m.Name())
+	if canon == "" {
+		panic("parafac2: Register with empty method name")
+	}
+	for _, name := range append([]string{canon}, aliases...) {
+		name = canonicalName(name)
+		if _, dup := registry[name]; dup {
+			panic(fmt.Sprintf("parafac2: method %q registered twice", name))
+		}
+		registry[name] = m
+	}
+	registryOrder = append(registryOrder, canon)
+}
+
+// Lookup resolves a method by canonical name or alias (case-insensitive).
+func Lookup(name string) (Method, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[canonicalName(name)]
+	return m, ok
+}
+
+// MustLookup resolves a method or returns a descriptive error naming the
+// registered alternatives — the error every unknown-method path surfaces.
+func MustLookup(name string) (Method, error) {
+	if m, ok := Lookup(name); ok {
+		return m, nil
+	}
+	known := MethodNames()
+	registryMu.RLock()
+	aliases := make([]string, 0, len(registry))
+	for alias := range registry {
+		aliases = append(aliases, alias)
+	}
+	registryMu.RUnlock()
+	sort.Strings(aliases)
+	return nil, fmt.Errorf("parafac2: unknown method %q (canonical: %s; all accepted: %s)",
+		name, strings.Join(known, ", "), strings.Join(aliases, ", "))
+}
+
+// MethodNames returns the canonical registered names in registration order —
+// the paper's legend order (DPar2, RD-ALS, PARAFAC2-ALS, SPARTan).
+func MethodNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+func canonicalName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+func init() {
+	// Registration order is the paper's legend order; Lookup accepts the
+	// spellings the CLI and the paper use.
+	Register(methodFunc{"dpar2", DPar2Ctx})
+	Register(methodFunc{"rd-als", RDALSCtx}, "rdals")
+	Register(methodFunc{"als", ALSCtx}, "parafac2-als")
+	Register(methodFunc{"spartan", SPARTanCtx})
+}

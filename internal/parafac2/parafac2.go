@@ -102,22 +102,16 @@ func (c Config) validate(t *tensor.Irregular) error {
 	return nil
 }
 
-func (c Config) threads() int {
-	if c.Threads <= 0 {
-		return 1
-	}
-	return c.Threads
-}
-
 // runtimePool resolves the compute pool for one decomposition call: the
-// caller-provided Config.Pool, or a transient pool of width Threads. done
-// must be called when the decomposition returns (it closes the pool only if
-// this call owns it).
+// caller-provided Config.Pool, or a transient pool of width Threads (clamped
+// by the single compute.WidthFromThreads rule: Threads <= 0 means serial).
+// done must be called when the decomposition returns (it closes the pool only
+// if this call owns it).
 func (c Config) runtimePool() (pool *compute.Pool, done func()) {
 	if c.Pool != nil {
 		return c.Pool, func() {}
 	}
-	p := compute.NewPool(c.threads())
+	p := compute.NewPoolFromThreads(c.Threads)
 	return p, p.Close
 }
 
@@ -163,6 +157,12 @@ func (r *Result) ReconstructSlice(k int) *mat.Dense {
 // model approximates the data well (Section IV-A of the paper).
 func Fitness(t *tensor.Irregular, r *Result) float64 {
 	return fitnessWith(t, r, compute.Default())
+}
+
+// FitnessWith is Fitness on a caller-provided pool (the Engine's shared pool
+// instead of the process-wide default). A nil pool evaluates serially.
+func FitnessWith(t *tensor.Irregular, r *Result, pool *compute.Pool) float64 {
+	return fitnessWith(t, r, pool)
 }
 
 // fitnessWith evaluates the fitness with slice reconstructions parallelized

@@ -1,6 +1,7 @@
 package parafac2
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mat"
@@ -30,8 +31,19 @@ import (
 // The cost is O(Σ_new I_k J R + J (n+1) R²): independent of the K slices
 // already absorbed.
 func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) error {
+	return c.AppendCtx(context.Background(), g, newSlices, cfg)
+}
+
+// AppendCtx is Append with cancellation: the context is checked between the
+// per-slice sketches and before the incremental stage-2 factorization. On
+// cancellation the compressed representation is left unmodified and the
+// unwrapped ctx.Err() is returned.
+func (c *Compressed) AppendCtx(ctx context.Context, g *rng.RNG, newSlices []*mat.Dense, cfg Config) error {
 	if len(newSlices) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	r := c.Rank
 	for i, s := range newSlices {
@@ -59,10 +71,16 @@ func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) erro
 	newA := make([]*mat.Dense, n)
 	newCB := make([]*mat.Dense, n)
 	pool.RunPartitioned(scheduler.Partition(rows, pool.Workers()), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		d := rsvd.Decompose(gens[i], newSlices[i], r, opts)
 		newA[i] = d.U
 		newCB[i] = d.V.ScaleColumns(d.S)
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR). One big
 	// factorization, so its kernels run on the pool (as in Compress).
@@ -88,10 +106,16 @@ func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) erro
 	return nil
 }
 
+// DefaultRefreshIters bounds the warm-started factor refresh per Absorb: the
+// previous factors are already (near-)converged for all but the newest
+// slices, so a handful of iterations recovers convergence instead of the
+// full MaxIters a cold start needs.
+const DefaultRefreshIters = 8
+
 // StreamingDPar2 maintains a PARAFAC2 decomposition over a growing irregular
 // tensor: slices arrive in batches, each batch is absorbed with Append, and
-// the factors are refreshed by re-running the (cheap) iteration phase on the
-// compressed representation.
+// the factors are refreshed by warm-starting the (cheap) iteration phase on
+// the compressed representation from the previous factors.
 type StreamingDPar2 struct {
 	cfg    Config
 	g      *rng.RNG
@@ -99,20 +123,38 @@ type StreamingDPar2 struct {
 	result *Result
 	// absorbed counts the slices seen so far.
 	absorbed int
+
+	// RefreshIters bounds the ALS iterations of each warm-started Absorb
+	// refresh (the bootstrap always runs the full cfg.MaxIters). It
+	// defaults to min(DefaultRefreshIters, cfg.MaxIters); set it between
+	// batches to trade absorb latency against fitness recovery. Values
+	// above cfg.MaxIters are clamped to cfg.MaxIters; values <= 0 reset
+	// to the default.
+	RefreshIters int
 }
 
 // NewStreamingDPar2 initializes the stream with a first batch.
 func NewStreamingDPar2(initial *tensor.Irregular, cfg Config) (*StreamingDPar2, error) {
+	return NewStreamingDPar2Ctx(context.Background(), initial, cfg)
+}
+
+// NewStreamingDPar2Ctx is NewStreamingDPar2 with cancellation.
+func NewStreamingDPar2Ctx(ctx context.Context, initial *tensor.Irregular, cfg Config) (*StreamingDPar2, error) {
 	if err := cfg.validate(initial); err != nil {
 		return nil, err
 	}
-	s := &StreamingDPar2{
-		cfg:      cfg,
-		g:        rng.New(cfg.Seed + 0x5eed),
-		comp:     Compress(initial, cfg),
-		absorbed: initial.K(),
+	comp, err := CompressCtx(ctx, initial, cfg)
+	if err != nil {
+		return nil, err
 	}
-	res, err := DPar2FromCompressed(s.comp, cfg)
+	s := &StreamingDPar2{
+		cfg:          cfg,
+		g:            rng.New(cfg.Seed + 0x5eed),
+		comp:         comp,
+		absorbed:     initial.K(),
+		RefreshIters: DefaultRefreshIters,
+	}
+	res, err := dpar2Iterate(ctx, s.comp, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -123,16 +165,61 @@ func NewStreamingDPar2(initial *tensor.Irregular, cfg Config) (*StreamingDPar2, 
 // Absorb folds a batch of new slices into the stream and refreshes the
 // factors. Only the new slices are touched at full resolution.
 func (s *StreamingDPar2) Absorb(newSlices []*mat.Dense) error {
-	if err := s.comp.Append(s.g, newSlices, s.cfg); err != nil {
+	return s.AbsorbCtx(context.Background(), newSlices)
+}
+
+// AbsorbCtx is Absorb with cancellation. The refresh warm-starts from the
+// previous H, V, and S (which are basis-independent, so they survive the
+// rotation Append applies to the compressed representation); new slices get
+// the cold-start S_k initialization. The refresh runs at most RefreshIters
+// iterations instead of the full cfg.MaxIters a cold start would need.
+//
+// Error semantics: an error from the append phase (wrapping nothing, e.g. a
+// plain ctx.Err()) means the batch was NOT absorbed — the stream is
+// unchanged and the same batch may be retried. An error from the refresh
+// phase is wrapped with "batch absorbed" context: the slices ARE part of the
+// stream (K reflects them) but Result is stale; call Refresh to re-derive
+// the factors. Re-absorbing the batch in that state would duplicate it.
+func (s *StreamingDPar2) AbsorbCtx(ctx context.Context, newSlices []*mat.Dense) error {
+	if err := s.comp.AppendCtx(ctx, s.g, newSlices, s.cfg); err != nil {
 		return err
 	}
 	s.absorbed += len(newSlices)
-	res, err := DPar2FromCompressed(s.comp, s.cfg)
+	if err := s.Refresh(ctx); err != nil {
+		return fmt.Errorf("parafac2: batch absorbed but factor refresh incomplete (Result is stale; call Refresh, do not re-absorb): %w", err)
+	}
+	return nil
+}
+
+// Refresh re-derives the factors from the current compressed representation,
+// warm-started from the previous result when one exists. Use it to recover
+// after a cancelled AbsorbCtx refresh, or to run extra polish iterations
+// between batches.
+func (s *StreamingDPar2) Refresh(ctx context.Context) error {
+	cfg := s.cfg
+	var warm *warmStart
+	if prev := s.result; prev != nil {
+		warm = &warmStart{h: prev.H, v: prev.V, s: prev.S}
+		cfg.MaxIters = s.refreshIters()
+	}
+	res, err := dpar2Iterate(ctx, s.comp, cfg, warm)
 	if err != nil {
 		return err
 	}
 	s.result = res
 	return nil
+}
+
+// refreshIters resolves the per-Absorb iteration bound.
+func (s *StreamingDPar2) refreshIters() int {
+	n := s.RefreshIters
+	if n <= 0 {
+		n = DefaultRefreshIters
+	}
+	if n > s.cfg.MaxIters {
+		n = s.cfg.MaxIters
+	}
+	return n
 }
 
 // Result returns the current factorization (covering every absorbed slice).

@@ -1,6 +1,8 @@
 package parafac2
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"repro/internal/mat"
@@ -105,5 +107,95 @@ func TestStreamingComparableToBatch(t *testing.T) {
 	streamFit := Fitness(full, s.Result())
 	if streamFit < batch.Fitness-0.03 {
 		t.Fatalf("streaming fitness %v far below batch %v", streamFit, batch.Fitness)
+	}
+}
+
+// TestAbsorbWarmStartBoundsIterations: each Absorb refresh warm-starts from
+// the previous factors and runs at most RefreshIters iterations (instead of
+// the full MaxIters a cold start uses), without giving up fitness on data
+// the previous factors already explain.
+func TestAbsorbWarmStartBoundsIterations(t *testing.T) {
+	g := rng.New(31)
+	full := synthPARAFAC2(g, []int{50, 60, 45, 55, 65, 40, 70, 52}, 16, 3, 0.02)
+	cfg := smallConfig(3)
+	cfg.MaxIters = 40
+
+	s, err := NewStreamingDPar2(tensor.MustIrregular(full.Slices[:4]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result().Iters; got < 1 {
+		t.Fatalf("bootstrap ran %d iterations", got)
+	}
+
+	if err := s.Absorb(full.Slices[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result().Iters; got > DefaultRefreshIters {
+		t.Fatalf("warm absorb ran %d iterations, bound is %d", got, DefaultRefreshIters)
+	}
+
+	s.RefreshIters = 2
+	if err := s.Absorb(full.Slices[6:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result().Iters; got > 2 {
+		t.Fatalf("warm absorb ran %d iterations, bound is 2", got)
+	}
+	if len(s.Result().Q) != 8 {
+		t.Fatalf("result covers %d slices, want 8", len(s.Result().Q))
+	}
+	if fit := Fitness(full, s.Result()); fit < 0.95 {
+		t.Fatalf("warm-started streaming fitness %v over all slices", fit)
+	}
+}
+
+// TestWarmStartIncompatibleFallsBack: a warmStart whose shapes do not match
+// the compressed tensor is ignored (cold init), not an error or a panic.
+func TestWarmStartIncompatibleFallsBack(t *testing.T) {
+	g := rng.New(32)
+	ten := synthPARAFAC2(g, []int{40, 50, 45}, 12, 3, 0.02)
+	cfg := smallConfig(3)
+	comp := Compress(ten, cfg)
+
+	bad := &warmStart{h: mat.New(5, 5), v: mat.New(7, 5)} // wrong shapes
+	res, err := dpar2Iterate(context.Background(), comp, cfg, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.H.EqualApprox(cold.H, 0) {
+		t.Fatal("incompatible warm start must fall back to the cold initialization")
+	}
+}
+
+// TestCompressedFitnessEstimatePopulated: DPar2FromCompressed now reports a
+// compressed-space fitness. On exact low-rank data compression is lossless,
+// so the estimate must agree closely with the true fitness; it must also be
+// populated (the old behavior silently left 0).
+func TestCompressedFitnessEstimatePopulated(t *testing.T) {
+	g := rng.New(33)
+	ten := synthPARAFAC2(g, []int{50, 60, 45, 55}, 15, 3, 0)
+	cfg := smallConfig(3)
+	cfg.MaxIters = 60
+
+	comp := Compress(ten, cfg)
+	res, err := DPar2FromCompressed(comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness == 0 {
+		t.Fatal("Result.Fitness left unpopulated by DPar2FromCompressed")
+	}
+	truth := Fitness(ten, res)
+	if diff := math.Abs(res.Fitness - truth); diff > 1e-6 {
+		t.Fatalf("compressed-space fitness %v vs true fitness %v (diff %v) on lossless data",
+			res.Fitness, truth, diff)
+	}
+	if res.Fitness < 0.99 {
+		t.Fatalf("fitness estimate %v on exact data", res.Fitness)
 	}
 }

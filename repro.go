@@ -11,32 +11,74 @@
 //
 // # Quickstart
 //
+// Everything runs through a long-lived Engine, which owns the shared compute
+// runtime (worker pool + workspace arena) and dispatches to any registered
+// algorithm:
+//
+//	eng := repro.NewEngine() // pool width = DefaultConfig().Threads (6)
+//	defer eng.Close()
+//
 //	g := repro.NewRNG(1)
 //	ten := repro.LowRankTensor(g, []int{300, 500, 400}, 50, 10, 0.01)
-//	cfg := repro.DefaultConfig() // rank 10, ≤32 iterations, 6 threads
-//	res, err := repro.DPar2(ten, cfg)
+//	res, err := eng.Decompose(ctx, ten,
+//		repro.WithMethod(repro.MethodDPar2), // the default
+//		repro.WithRank(10), repro.WithSeed(7))
 //	if err != nil { ... }
 //	fmt.Println(res.Fitness, res.Iters, res.TotalTime)
 //
+// The context is honored between ALS iterations and between the parallel
+// phases inside one, so a decomposition is cancellable and deadline-bounded;
+// on cancellation the unwrapped ctx.Err() comes back and no workers leak.
+// The four algorithms of the paper (MethodDPar2, MethodRDALS, MethodALS,
+// MethodSPARTan) ship registered; Methods lists the registry.
+//
+// # The batched job service
+//
+// For servers decomposing many tensors against one runtime, Submit queues
+// jobs on a bounded queue drained by a fixed set of job workers — all on the
+// Engine's one pool, with the arena keeping steady-state allocation near
+// zero across jobs:
+//
+//	pending := make([]<-chan repro.JobResult, 0, len(tensors))
+//	for i, t := range tensors {
+//		pending = append(pending, eng.Submit(ctx, repro.Job{
+//			Tensor:  t,
+//			Tag:     fmt.Sprint(i),
+//			Options: []repro.Option{repro.WithRank(10), repro.WithSeed(uint64(i))},
+//		}))
+//	}
+//	for _, ch := range pending {
+//		jr := <-ch // exactly one result per job
+//		...
+//	}
+//
+// Results are deterministic for a given tensor and options — bit-identical
+// whether a job runs alone, concurrently with others, or at any pool width.
+//
 // # Threading model
 //
-// Config.Threads is the single source of truth for parallelism: every
-// decomposition entry point runs its parallel phases (slice compression, the
-// ALS iteration kernels, fitness evaluation) on a compute worker pool of
-// that width, created for the duration of the call. Long-running callers —
-// servers decomposing many tensors, rank sweeps, streaming — should create
-// one pool up front and share it:
+// The Engine's pool is the single parallelism knob: size it with
+// WithEngineThreads (thread counts <= 0 mean serial — the one clamping rule,
+// applied by compute.WidthFromThreads everywhere a thread count becomes a
+// pool) or hand an existing pool to WithEnginePool. Every parallel phase
+// (slice compression, the ALS iteration kernels, fitness evaluation) of
+// every call runs on that pool. The pool contributes at most width-1 worker
+// goroutines; each submitting goroutine participates in its own work, so N
+// concurrent callers run on at most width-1 + N goroutines.
 //
-//	pool := repro.NewPool(8) // 8 workers, reused across decompositions
-//	defer pool.Close()
-//	cfg := repro.DefaultConfig()
-//	cfg.Pool = pool // overrides cfg.Threads
+// # Migration from the free functions
 //
-// A shared pool is safe for concurrent decompositions. The pool contributes
-// at most its width in worker goroutines; each goroutine calling into the
-// library also participates in its own work, so N concurrent callers run on
-// at most width-1 + N goroutines. Results are deterministic for a given
-// Config regardless of Threads/pool width.
+// The per-method free functions (DPar2, ALS, RDALS, SPARTan,
+// DPar2FromCompressed, Compress, NewStreamingDPar2) and the Config.Threads /
+// Config.Pool knobs still work but are deprecated in favor of the Engine:
+//
+//	res, err := repro.DPar2(ten, cfg)                  // before
+//	res, err := eng.Decompose(ctx, ten,                // after
+//		repro.WithConfig(cfg))                     // or granular With* options
+//
+// WithConfig(cfg) carries an existing Config over verbatim (its Threads/Pool
+// fields are superseded by the Engine's pool). The wrappers remain for one
+// release and then become thin shims over a package-default Engine.
 //
 // The heavy lifting lives in internal packages (compute, mat, lapack, rsvd,
 // tensor, cp, parafac2, scheduler, datagen, stats); this package re-exports
@@ -59,13 +101,17 @@ import (
 type Pool = compute.Pool
 
 // NewPool returns a worker pool of width n. Close it when done; a nil *Pool
-// means serial execution.
-//
-// Note the zero conventions differ: NewPool(n <= 0) means GOMAXPROCS (the
-// natural default for a pool you build explicitly), while Config.Threads <= 0
-// means serial. When deriving a pool width from a Config, clamp:
-// NewPool(max(1, cfg.Threads)).
+// means serial execution. NewPool(n <= 0) means GOMAXPROCS — the natural
+// default for a pool you size explicitly. To derive a pool from a
+// Config-style thread count (where <= 0 means serial), use
+// NewPoolFromThreads; that helper is the single place the thread-count
+// convention is interpreted.
 func NewPool(n int) *Pool { return compute.NewPool(n) }
+
+// NewPoolFromThreads builds a pool from a Config-style thread count under
+// the repository's one clamping rule: threads <= 0 means a serial width-1
+// pool (never GOMAXPROCS). The Engine and every wrapper use this same rule.
+func NewPoolFromThreads(threads int) *Pool { return compute.NewPoolFromThreads(threads) }
 
 // Matrix is a row-major dense matrix of float64.
 type Matrix = mat.Dense
@@ -112,30 +158,51 @@ func NewMatrixFromData(rows, cols int, data []float64) *Matrix {
 // DPar2 decomposes an irregular dense tensor with the paper's method:
 // two-stage randomized-SVD compression followed by ALS iterations whose
 // per-iteration cost O(JR² + KR³) is independent of the slice heights.
+//
+// Deprecated: use Engine.Decompose with WithMethod(MethodDPar2) — it adds
+// cancellation, a shared pool, and the batched Submit path. This wrapper
+// remains for one release.
 func DPar2(t *Irregular, cfg Config) (*Result, error) { return parafac2.DPar2(t, cfg) }
 
 // Compress runs only the two-stage compression (lines 2-6 of Algorithm 3),
 // for callers that amortize preprocessing across several decompositions.
+//
+// Deprecated: use Engine.Compress, which adds cancellation and runs on the
+// Engine's shared pool. This wrapper remains for one release.
 func Compress(t *Irregular, cfg Config) *Compressed { return parafac2.Compress(t, cfg) }
 
 // DPar2FromCompressed runs DPar2's iteration phase on a previously
-// compressed tensor. Result.Fitness is not populated (the input tensor is
-// not available); use Fitness.
+// compressed tensor. Result.Fitness is the compressed-space estimate
+// 1 − e/‖X̃‖² — exact against the compressed approximation X̃ the iteration
+// sees, differing from the fitness against the original tensor only by the
+// one-time compression error; use Fitness when the tensor is at hand.
+//
+// Deprecated: use Engine.DecomposeCompressed. This wrapper remains for one
+// release.
 func DPar2FromCompressed(c *Compressed, cfg Config) (*Result, error) {
 	return parafac2.DPar2FromCompressed(c, cfg)
 }
 
 // ALS is the classical PARAFAC2-ALS baseline (Algorithm 2; Kiers et al.
 // 1999): every iteration recomputes against the full input tensor.
+//
+// Deprecated: use Engine.Decompose with WithMethod(MethodALS). This wrapper
+// remains for one release.
 func ALS(t *Irregular, cfg Config) (*Result, error) { return parafac2.ALS(t, cfg) }
 
 // RDALS is the RD-ALS baseline (Cheng & Haardt 2019): deterministic
 // dimensionality reduction once, ALS on the reduced slices, full
 // reconstruction error for convergence.
+//
+// Deprecated: use Engine.Decompose with WithMethod(MethodRDALS). This
+// wrapper remains for one release.
 func RDALS(t *Irregular, cfg Config) (*Result, error) { return parafac2.RDALS(t, cfg) }
 
 // SPARTan is a SPARTan-style baseline (Perros et al. 2017) adapted to dense
 // data: slice-parallel PARAFAC2-ALS with fused MTTKRP accumulation.
+//
+// Deprecated: use Engine.Decompose with WithMethod(MethodSPARTan). This
+// wrapper remains for one release.
 func SPARTan(t *Irregular, cfg Config) (*Result, error) { return parafac2.SPARTan(t, cfg) }
 
 // Fitness evaluates 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² of a result against a tensor.
@@ -161,10 +228,15 @@ func FactorMatchScore(a, b *Matrix) float64 { return stats.FactorMatchScore(a, b
 
 // StreamingDPar2 maintains a PARAFAC2 decomposition over a growing tensor:
 // new slices are absorbed into the compressed representation without
-// recompressing the old ones (the paper's named future-work setting).
+// recompressing the old ones (the paper's named future-work setting), and
+// each Absorb warm-starts the factor refresh from the previous result with
+// a small iteration bound (StreamingDPar2.RefreshIters).
 type StreamingDPar2 = parafac2.StreamingDPar2
 
 // NewStreamingDPar2 initializes a stream with a first batch of slices.
+//
+// Deprecated: use Engine.NewStream, which adds cancellation and keeps the
+// stream on the Engine's shared pool. This wrapper remains for one release.
 func NewStreamingDPar2(initial *Irregular, cfg Config) (*StreamingDPar2, error) {
 	return parafac2.NewStreamingDPar2(initial, cfg)
 }

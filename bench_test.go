@@ -85,6 +85,33 @@ func BenchmarkDPar2IterationAllocs(b *testing.B) {
 	b.ReportMetric(float64(iters), "als-iters")
 }
 
+// BenchmarkDPar2TallSlice guards the sharded stage-1 path: the tallest slice
+// is 8x the ShardRows threshold, so compression (run once in setup) goes
+// through shard sketches plus the hierarchical merge, and the loop isolates
+// the ALS iterations on the resulting compressed tensor. allocs/op ÷
+// als-iters must stay on the same budget as BenchmarkDPar2IterationAllocs —
+// sharding must not leak allocations into the steady-state iteration.
+func BenchmarkDPar2TallSlice(b *testing.B) {
+	g := rng.New(21)
+	rows := []int{8 * 2048, 700, 900, 500}
+	ten := datagen.LowRank(g, rows, 64, 10, 0.05)
+	cfg := benchConfig(10)
+	cfg.Tol = 0
+	cfg.ShardRows = 2048 // tallest slice = 8 shards through the merge path
+	comp := parafac2.Compress(ten, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := parafac2.DPar2FromCompressed(comp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iters
+	}
+	b.ReportMetric(float64(iters), "als-iters")
+}
+
 // --- Fig. 1: total running time per method (trade-off) -------------------
 
 func BenchmarkFig1TradeOff(b *testing.B) {

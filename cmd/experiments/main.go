@@ -7,6 +7,7 @@
 //	experiments -fig 9               # preprocessing + per-iteration time
 //	experiments -fig 10              # preprocessed data size
 //	experiments -fig 11a|11b|11c     # scalability sweeps
+//	experiments -fig tall            # tall-slice stage-1 sharding comparison
 //	experiments -fig 8|12            # data profile / correlation heatmaps
 //	experiments -table 2|3           # dataset summary / similar stocks
 //	experiments -scale test          # tiny versions (CI-friendly)
@@ -26,14 +27,15 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12")
-		table   = flag.String("table", "", "table to regenerate: 2, 3")
-		all     = flag.Bool("all", false, "run every experiment")
-		scale   = flag.String("scale", "bench", "dataset scale: bench | test")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		rank    = flag.Int("rank", 10, "base target rank")
-		iters   = flag.Int("iters", 32, "max ALS iterations")
-		threads = flag.Int("threads", parafac2.DefaultConfig().Threads, "worker threads (<=0 = serial)")
+		fig       = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12, tall")
+		table     = flag.String("table", "", "table to regenerate: 2, 3")
+		all       = flag.Bool("all", false, "run every experiment")
+		scale     = flag.String("scale", "bench", "dataset scale: bench | test")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		rank      = flag.Int("rank", 10, "base target rank")
+		iters     = flag.Int("iters", 32, "max ALS iterations")
+		threads   = flag.Int("threads", parafac2.DefaultConfig().Threads, "worker threads (<=0 = serial)")
+		shardRows = flag.Int("shardrows", 0, "stage-1 sharding threshold in rows (0 = default 64k, <0 = off)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,7 @@ func main() {
 	cfg.MaxIters = *iters
 	cfg.Seed = *seed
 	cfg.Threads = *threads
+	cfg.ShardRows = *shardRows
 
 	// One long-lived pool for every experiment in the run (the Fig. 11c
 	// thread sweep overrides it per measurement — pool width is what it
@@ -134,6 +137,18 @@ func main() {
 		pts, err := experiments.Fig11c(ctx, *seed, i, j, k, threads, cfg)
 		fail(err)
 		experiments.Fig11cTable(pts).Fprint(os.Stdout)
+	}
+	if run("tall") && *table == "" {
+		fmt.Fprintln(os.Stderr, "running tall-slice sharding comparison...")
+		tallRows, j, k := 32768, 64, 6
+		srs := []int{-1, 8192, 4096}
+		if sc == experiments.ScaleTest {
+			tallRows, j, k = 4096, 32, 4
+			srs = []int{-1, 1024, 512}
+		}
+		pts, err := experiments.TallSlice(ctx, *seed, cfg, tallRows, j, k, srs)
+		fail(err)
+		experiments.TallSliceTable(pts).Fprint(os.Stdout)
 	}
 	if run("12") && *table == "" {
 		fmt.Fprintln(os.Stderr, "running Fig. 12 correlation analysis...")

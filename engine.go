@@ -42,8 +42,16 @@ type Engine struct {
 	queue chan pendingJob
 	wg    sync.WaitGroup
 
-	mu     sync.RWMutex // serializes Submit sends against Close's close(queue)
-	closed bool
+	// mu guards closed; it is held only for instantaneous checks, never
+	// across a blocking queue send (a Submit blocked on a full queue while
+	// holding even the read lock would, via RWMutex writer priority, stall
+	// every other Engine call behind a pending Close). In-flight sends
+	// register with sending instead: Close flips closed (stopping new
+	// registrations), waits for sending to drain, and only then closes the
+	// queue — so no send can race the close.
+	mu      sync.RWMutex
+	closed  bool
+	sending sync.WaitGroup
 }
 
 // pendingJob is one queued Submit request.
@@ -162,11 +170,15 @@ func (e *Engine) Pool() *Pool { return e.pool }
 func (e *Engine) Close() {
 	e.mu.Lock()
 	first := !e.closed
+	e.closed = true
+	e.mu.Unlock()
 	if first {
-		e.closed = true
+		// No new Submit can register once closed is set; wait out the
+		// in-flight queue sends (the job workers keep draining, so a send
+		// blocked on a full queue completes), then close the queue.
+		e.sending.Wait()
 		close(e.queue)
 	}
-	e.mu.Unlock()
 	e.wg.Wait()
 	if first && e.ownPool {
 		e.pool.Close()
@@ -330,17 +342,24 @@ func (e *Engine) Submit(ctx context.Context, job Job) <-chan JobResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Register as an in-flight sender under the read lock, then release it
+	// BEFORE the potentially blocking send: holding mu across the send would
+	// stall every Decompose/Compress behind a pending Close (RWMutex writer
+	// priority) whenever the queue is full. Close waits for registered
+	// senders before closing the queue, so the send below cannot race a
+	// close(queue).
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		out <- JobResult{Tag: job.Tag, Err: ErrEngineClosed}
 		return out
 	}
+	e.sending.Add(1)
+	e.mu.RUnlock()
+	defer e.sending.Done()
 	select {
 	case e.queue <- pendingJob{ctx: ctx, job: job, out: out}:
-		e.mu.RUnlock()
 	case <-ctx.Done():
-		e.mu.RUnlock()
 		out <- JobResult{Tag: job.Tag, Err: ctx.Err()}
 	}
 	return out

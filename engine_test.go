@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -346,5 +347,88 @@ func TestEngineDPar2OnlyEndpoints(t *testing.T) {
 	}
 	if _, err := eng.Compress(ctx, ten, WithMethod(MethodRDALS)); err == nil {
 		t.Fatal("Compress must reject non-DPar2 methods")
+	}
+}
+
+// TestEngineSubmitFullQueueDoesNotBlockOtherCalls is the regression test for
+// the Submit/Close lock interaction: a Submit blocked on a full queue used to
+// hold mu.RLock across the send, so once Close was waiting on the write lock
+// (RWMutex writer priority) every other Engine call stalled behind it. Now a
+// blocked Submit holds no lock, Close proceeds, and concurrent calls observe
+// ErrEngineClosed promptly instead of deadlocking.
+func TestEngineSubmitFullQueueDoesNotBlockOtherCalls(t *testing.T) {
+	ten := engineTestTensor(7)
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(engineTestConfig()),
+		WithQueueDepth(1), WithJobConcurrency(1))
+
+	// Job A occupies the single worker until released.
+	running := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	hold := WithProgress(func(int, float64) bool {
+		once.Do(func() { close(running) })
+		<-release
+		return true
+	})
+	chA := eng.Submit(context.Background(), Job{Tensor: ten, Tag: "A", Options: []Option{hold}})
+	<-running
+
+	// Job B fills the queue's only slot; job C blocks in the queue send.
+	chB := eng.Submit(context.Background(), Job{Tensor: ten, Tag: "B"})
+	chC := make(chan (<-chan JobResult), 1)
+	go func() { chC <- eng.Submit(context.Background(), Job{Tensor: ten, Tag: "C"}) }()
+	time.Sleep(50 * time.Millisecond) // let C reach the blocking send
+
+	closed := make(chan struct{})
+	go func() { eng.Close(); close(closed) }()
+
+	// While C is still blocked and Close is waiting, other Engine calls must
+	// resolve promptly (ErrEngineClosed once Close has flipped the flag).
+	decided := make(chan error, 1)
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, err := eng.Decompose(context.Background(), ten)
+			if errors.Is(err, ErrEngineClosed) {
+				decided <- nil
+				return
+			}
+			if time.Now().After(deadline) {
+				decided <- fmt.Errorf("Decompose never observed the closing engine (last err: %v)", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	select {
+	case err := <-decided:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Decompose deadlocked behind a Submit blocked on a full queue")
+	}
+
+	// Unblock everything: accepted jobs must still deliver results and
+	// Close must return.
+	close(release)
+	for _, c := range []struct {
+		tag string
+		ch  <-chan JobResult
+	}{{"A", chA}, {"B", chB}, {"C", <-chC}} {
+		jr := <-c.ch
+		// A and B were accepted before Close and must succeed; C raced
+		// Close and may legitimately see either outcome.
+		if c.tag != "C" && jr.Err != nil {
+			t.Fatalf("job %s: %v", c.tag, jr.Err)
+		}
+		if jr.Err != nil && !errors.Is(jr.Err, ErrEngineClosed) {
+			t.Fatalf("job %s: unexpected error %v", c.tag, jr.Err)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after jobs drained")
 	}
 }

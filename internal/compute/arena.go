@@ -16,16 +16,34 @@ const (
 	arenaBuckets = arenaMaxBits - arenaMinBits + 1
 )
 
+// MaxRecycleFloats returns the float64 capacity of the largest arena bucket.
+// Requests above it are served by plain allocation and Put of such a matrix
+// is a no-op, so hot-path scratch must stay at or below this bound to be
+// recycled — the stage-1 sharding threshold (ShardRows · sketch width) is
+// chosen to keep per-shard sketch buffers inside it, and tests assert that.
+func MaxRecycleFloats() int { return 1 << arenaMaxBits }
+
 // Arena is a size-bucketed free list of scratch matrices. Get hands out a
 // matrix whose backing slice comes from the bucket of the next power-of-two
 // capacity; Put returns it for reuse. The matrix headers are recycled along
 // with their backing arrays, so a steady-state Get/Put cycle performs zero
 // allocations.
 //
+// Requests larger than the biggest bucket (MaxRecycleFloats) are not
+// recyclable: Get falls through to a plain exact-size allocation and Put of
+// such a matrix is a documented no-op (the matrix is left to the garbage
+// collector). Keep per-task scratch within the bucket range — e.g. by row
+// sharding — when recycling matters.
+//
 // The zero value is ready to use and safe for concurrent use. Matrices
 // handed to Put must no longer be referenced by the caller.
 type Arena struct {
 	buckets [arenaBuckets]sync.Pool
+
+	// maxBitsOverride, when non-zero, lowers the largest usable bucket —
+	// a test hook so the oversized-Put contract is exercisable without
+	// half-gigabyte allocations. Zero means arenaMaxBits.
+	maxBitsOverride int
 }
 
 var sharedArena Arena
@@ -35,9 +53,16 @@ var sharedArena Arena
 // holding it costs nothing between bursts of work.
 func Shared() *Arena { return &sharedArena }
 
+func (a *Arena) maxBits() int {
+	if a.maxBitsOverride != 0 {
+		return a.maxBitsOverride
+	}
+	return arenaMaxBits
+}
+
 // bucketFor returns the bucket index whose capacity holds n floats, or -1
 // when n exceeds the largest bucket.
-func bucketFor(n int) int {
+func (a *Arena) bucketFor(n int) int {
 	if n <= 0 {
 		return 0
 	}
@@ -45,7 +70,7 @@ func bucketFor(n int) int {
 	if b < arenaMinBits {
 		return 0
 	}
-	if b > arenaMaxBits {
+	if b > a.maxBits() {
 		return -1
 	}
 	return b - arenaMinBits
@@ -63,7 +88,7 @@ func (a *Arena) Get(r, c int) *mat.Dense {
 // kernel).
 func (a *Arena) GetUninit(r, c int) *mat.Dense {
 	n := r * c
-	b := bucketFor(n)
+	b := a.bucketFor(n)
 	if b < 0 {
 		return mat.New(r, c)
 	}
@@ -79,14 +104,16 @@ func (a *Arena) GetUninit(r, c int) *mat.Dense {
 
 // Put returns scratch matrices to the arena. Matrices whose backing capacity
 // is not an exact bucket size (i.e. not produced by Get/GetUninit) are
-// dropped for the garbage collector instead.
+// dropped for the garbage collector instead; in particular, Put of a matrix
+// above the largest bucket (MaxRecycleFloats) is a no-op by design — the
+// arena never caches half-gigabyte one-offs.
 func (a *Arena) Put(ms ...*mat.Dense) {
 	for _, m := range ms {
 		if m == nil {
 			continue
 		}
 		c := cap(m.Data)
-		b := bucketFor(c)
+		b := a.bucketFor(c)
 		if b < 0 || 1<<(b+arenaMinBits) != c {
 			continue
 		}

@@ -1,0 +1,74 @@
+package compute
+
+import "testing"
+
+func TestArenaBucketForRange(t *testing.T) {
+	var a Arena
+	if b := a.bucketFor(1); b != 0 {
+		t.Fatalf("bucketFor(1) = %d, want 0", b)
+	}
+	if b := a.bucketFor(MaxRecycleFloats()); b != arenaBuckets-1 {
+		t.Fatalf("bucketFor(max) = %d, want %d", b, arenaBuckets-1)
+	}
+	if b := a.bucketFor(MaxRecycleFloats() + 1); b != -1 {
+		t.Fatalf("bucketFor(max+1) = %d, want -1 (oversized)", b)
+	}
+}
+
+func TestArenaOversizedPutIsNoOp(t *testing.T) {
+	// The oversized contract, exercised through the test hook (so the test
+	// does not need half-gigabyte allocations): requests above the largest
+	// bucket are allocated fresh and Put drops them instead of caching.
+	a := Arena{maxBitsOverride: 10} // largest "bucket": 1024 floats
+	big := a.GetUninit(64, 32)      // 2048 floats: above the override
+	if cap(big.Data) != 64*32 {
+		t.Fatalf("oversized Get must allocate exact size, got cap %d", cap(big.Data))
+	}
+	big.Data[0] = 42
+	a.Put(big) // documented no-op
+	again := a.GetUninit(64, 32)
+	if &again.Data[0] == &big.Data[0] {
+		t.Fatal("oversized matrix was recycled; Put must be a no-op above the largest bucket")
+	}
+
+	// A matrix with exact bucket capacity (1024 = 2^10 floats) IS recycled.
+	ok := a.GetUninit(32, 32)
+	base := &ok.Data[:cap(ok.Data)][0]
+	a.Put(ok)
+	back := a.GetUninit(32, 32)
+	if &back.Data[:cap(back.Data)][0] != base {
+		t.Skip("sync.Pool did not hand the buffer back (GC ran); nothing to assert")
+	}
+}
+
+func TestArenaOversizedPutKeepsShapeUsable(t *testing.T) {
+	// Even when Put is a no-op the matrix stays a valid matrix — callers
+	// treat Put as unconditional surrender either way.
+	a := Arena{maxBitsOverride: 8}
+	m := a.Get(100, 7) // 700 floats > 256: oversized under the override
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	a.Put(m, nil) // nil tolerated alongside
+	n := a.Get(100, 7)
+	for _, v := range n.Data {
+		if v != 0 {
+			t.Fatal("Get after oversized Put returned dirty scratch")
+		}
+	}
+}
+
+func TestArenaDefaultShardScratchRecyclable(t *testing.T) {
+	// The sharding threshold exists so stage-1 sketch scratch stays
+	// recyclable: a 64k-row shard at sketch width 18 must land in a bucket.
+	var a Arena
+	const shard, width = 1 << 16, 18
+	if b := a.bucketFor(shard * width); b < 0 {
+		t.Fatalf("default shard sketch scratch (%d floats) falls outside the bucket range", shard*width)
+	}
+	m := a.GetUninit(shard, width)
+	if cap(m.Data)&(cap(m.Data)-1) != 0 {
+		t.Fatalf("shard scratch not bucket-backed: cap %d", cap(m.Data))
+	}
+	a.Put(m)
+}

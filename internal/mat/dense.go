@@ -148,6 +148,17 @@ func (m *Dense) RowBlock(r0, r1 int) *Dense {
 	return m.SubMatrix(r0, 0, r1-r0, m.Cols)
 }
 
+// RowView returns rows [r0, r1) as a view sharing m's backing array (no
+// copy); writes through the view are writes into m. Row-major layout makes
+// any contiguous row block a valid matrix — this is what lets stage-1
+// sharding sketch a tall slice shard by shard without duplicating it.
+func (m *Dense) RowView(r0, r1 int) *Dense {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows {
+		panic("mat: RowView out of range")
+	}
+	return &Dense{Rows: r1 - r0, Cols: m.Cols, Data: m.Data[r0*m.Cols : r1*m.Cols]}
+}
+
 // SetSubMatrix writes src into m starting at (r0, c0).
 func (m *Dense) SetSubMatrix(r0, c0 int, src *Dense) {
 	if r0+src.Rows > m.Rows || c0+src.Cols > m.Cols {

@@ -85,21 +85,11 @@ func compressWith(ctx context.Context, t *tensor.Irregular, cfg Config, pool *co
 		gens[kk] = g.Split()
 	}
 
-	// Stage 1: per-slice randomized SVD, load-balanced by row count. The
-	// slices are the unit of parallelism here, so the kernels inside each
-	// decomposition run serially (opts.Runner is nil). A cancelled context
-	// skips the remaining sketches; the partial arrays are discarded below.
-	a := make([]*mat.Dense, k)
-	cb := make([]*mat.Dense, k) // C_k B_k, J × R
-	buckets := scheduler.Partition(t.Rows(), pool.Workers())
-	pool.RunPartitioned(buckets, func(kk int) {
-		if ctx.Err() != nil {
-			return
-		}
-		d := rsvd.Decompose(gens[kk], t.Slices[kk], r, opts)
-		a[kk] = d.U
-		cb[kk] = d.V.ScaleColumns(d.S) // C_k B_k
-	})
+	// Stage 1: per-slice randomized SVD, load-balanced by row count, with
+	// slices above the ShardRows threshold split into row shards (each
+	// shard its own work unit). A cancelled context skips the remaining
+	// sketches; the partial arrays are discarded below.
+	a, cb := stage1Sketches(ctx, t.Slices, gens, cfg, pool)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -118,6 +108,88 @@ func compressWith(ctx context.Context, t *tensor.Irregular, cfg Config, pool *co
 		f[kk] = d2.V.RowBlock(kk*r, (kk+1)*r)
 	}
 	return &Compressed{A: a, D: d2.U, E: d2.S, F: f, J: t.J, Rank: r}, nil
+}
+
+// stage1Sketches runs the per-slice stage-1 randomized SVDs (A_k, C_k B_k)
+// for Compress and Append. Slices taller than cfg.ShardRows are routed
+// through the row-sharded path: each shard is an independent work unit, so
+// scheduler.Partition balances over shards rather than whole slices — one
+// tall slice spreads across the whole pool instead of pinning a worker — and
+// per-shard scratch stays O(ShardRows·(Rank+Oversample)), inside the arena's
+// recyclable bucket range. gens must hold one pre-split generator per slice;
+// sharded slices derive their per-shard and merge children from their slice
+// generator (rsvd.ShardGens), keeping results bit-reproducible for any pool
+// width or partition.
+//
+// On context cancellation the remaining units and merges are skipped; the
+// caller must check ctx.Err() and discard the partial arrays.
+func stage1Sketches(ctx context.Context, slices []*mat.Dense, gens []*rng.RNG, cfg Config, pool *compute.Pool) (a, cb []*mat.Dense) {
+	r := cfg.Rank
+	opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
+	sketch := opts.SketchWidth(r)
+	threshold := cfg.ShardRowsThreshold()
+
+	// Work units: a whole slice (shard == -1) or one row shard of a tall
+	// slice. Sizes are row counts — what the sketch cost is proportional to.
+	type unit struct{ k, shard int }
+	var units []unit
+	var sizes []int
+	nShards := make([]int, len(slices))
+	bounds := make([][]int, len(slices))
+	shardGens := make([][]*rng.RNG, len(slices))
+	mergeGens := make([]*rng.RNG, len(slices))
+	sketches := make([][]rsvd.ShardSketch, len(slices))
+	for k, s := range slices {
+		m := rsvd.NumShards(s.Rows, s.Cols, threshold, sketch)
+		nShards[k] = m
+		if m <= 1 {
+			units = append(units, unit{k, -1})
+			sizes = append(sizes, s.Rows)
+			continue
+		}
+		bounds[k] = rsvd.ShardBounds(s.Rows, m)
+		shardGens[k], mergeGens[k] = rsvd.ShardGens(gens[k], m)
+		sketches[k] = make([]rsvd.ShardSketch, m)
+		for i := 0; i < m; i++ {
+			units = append(units, unit{k, i})
+			sizes = append(sizes, bounds[k][i+1]-bounds[k][i])
+		}
+	}
+
+	a = make([]*mat.Dense, len(slices))
+	cb = make([]*mat.Dense, len(slices)) // C_k B_k, J × R
+	pool.RunPartitioned(scheduler.Partition(sizes, pool.Workers()), func(u int) {
+		if ctx.Err() != nil {
+			return
+		}
+		un := units[u]
+		s := slices[un.k]
+		if un.shard < 0 {
+			// The slice is the unit of parallelism; kernels inside the
+			// decomposition run serially (opts.Runner is nil).
+			d := rsvd.Decompose(gens[un.k], s, r, opts)
+			a[un.k] = d.U
+			cb[un.k] = d.V.ScaleColumns(d.S)
+			return
+		}
+		lo, hi := bounds[un.k][un.shard], bounds[un.k][un.shard+1]
+		sketches[un.k][un.shard] = rsvd.SketchShard(shardGens[un.k][un.shard], s.RowView(lo, hi), r, opts)
+	})
+
+	// Merge the shard bases slice by slice. Each merge is one small SVD of
+	// the stacked (m·(R+s))×J blocks plus the O(I_k·(R+s)·R) materialization
+	// of A_k, whose kernels run on the pool.
+	mopts := opts
+	mopts.Runner = pool
+	for k, m := range nShards {
+		if m <= 1 || ctx.Err() != nil {
+			continue
+		}
+		d := rsvd.MergeShards(mergeGens[k], sketches[k], r, mopts)
+		a[k] = d.U
+		cb[k] = d.V.ScaleColumns(d.S)
+	}
+	return a, cb
 }
 
 // DPar2 runs the full method of the paper (Algorithm 3): two-stage

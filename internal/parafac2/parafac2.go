@@ -49,6 +49,18 @@ type Config struct {
 	// Oversample and PowerIters configure randomized SVD (DPar2 only).
 	Oversample int
 	PowerIters int
+	// ShardRows is the stage-1 sharding threshold (DPar2 only): a slice
+	// with more than ShardRows rows is sketched in row shards of at most
+	// ShardRows rows — each shard an independent work unit on the pool —
+	// and the shard bases are merged by a second small randomized SVD.
+	// (Thresholds below the sketch width Rank+Oversample are floored to
+	// it: a shard shorter than the sketch could not compress anything.)
+	// The A_k contract is unchanged (column orthonormal, I_k×R), peak
+	// stage-1 scratch drops from O(I_k·(Rank+Oversample)) to
+	// O(ShardRows·(Rank+Oversample)) per in-flight shard, and one tall
+	// slice parallelizes across the whole pool instead of pinning one
+	// worker. 0 means DefaultShardRows; negative disables sharding.
+	ShardRows int
 	// TrackConvergence records the convergence measure after every
 	// iteration in Result.ConvergenceTrace.
 	TrackConvergence bool
@@ -69,6 +81,13 @@ type Config struct {
 	// wall-clock budgets). Called from the decomposition goroutine.
 	Progress func(iter int, measure float64) bool
 }
+
+// DefaultShardRows is the stage-1 sharding threshold applied when
+// Config.ShardRows is 0: slices taller than 64k rows are sketched in row
+// shards. At the default sketch width (rank 10 + oversample 8) a shard's
+// scratch is ~64k·18 floats ≈ 9 MB — comfortably inside the workspace
+// arena's recyclable bucket range (compute.MaxRecycleFloats).
+const DefaultShardRows = 1 << 16
 
 // DefaultConfig mirrors the paper's experimental settings: rank 10, at most
 // 32 iterations, 6 threads.
@@ -100,6 +119,22 @@ func (c Config) validate(t *tensor.Irregular) error {
 		return fmt.Errorf("parafac2: MaxIters must be positive, got %d", c.MaxIters)
 	}
 	return nil
+}
+
+// ShardRowsThreshold resolves Config.ShardRows to the effective stage-1
+// sharding threshold, in the form rsvd.NumShards takes: 0 means
+// DefaultShardRows, negative disables sharding (expressed as 0, which
+// NumShards treats as "never shard"). Exported as the single source of the
+// resolution rule — reporting layers must use it rather than re-deriving
+// the 0/negative convention.
+func (c Config) ShardRowsThreshold() int {
+	switch {
+	case c.ShardRows == 0:
+		return DefaultShardRows
+	case c.ShardRows < 0:
+		return 0
+	}
+	return c.ShardRows
 }
 
 // runtimePool resolves the compute pool for one decomposition call: the

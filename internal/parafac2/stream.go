@@ -7,7 +7,6 @@ import (
 	"repro/internal/mat"
 	"repro/internal/rng"
 	"repro/internal/rsvd"
-	"repro/internal/scheduler"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +45,12 @@ func (c *Compressed) AppendCtx(ctx context.Context, g *rng.RNG, newSlices []*mat
 		return err
 	}
 	r := c.Rank
+	if c.J < r {
+		// A compressed tensor narrower than its rank cannot have been
+		// produced by a validated decomposition; appending to it would
+		// mis-shape every F block downstream.
+		return fmt.Errorf("parafac2: compressed tensor has %d columns < rank %d", c.J, r)
+	}
 	for i, s := range newSlices {
 		if s.Cols != c.J {
 			return fmt.Errorf("parafac2: appended slice %d has %d columns, want %d", i, s.Cols, c.J)
@@ -58,26 +63,14 @@ func (c *Compressed) AppendCtx(ctx context.Context, g *rng.RNG, newSlices []*mat
 	pool, done := cfg.runtimePool()
 	defer done()
 
-	// Stage 1 on the new slices only, load-balanced as in Compress.
+	// Stage 1 on the new slices only, load-balanced (over shards of tall
+	// slices, whole slices otherwise) as in Compress.
 	n := len(newSlices)
 	gens := make([]*rng.RNG, n)
 	for i := range gens {
 		gens[i] = g.Split()
 	}
-	rows := make([]int, n)
-	for i, s := range newSlices {
-		rows[i] = s.Rows
-	}
-	newA := make([]*mat.Dense, n)
-	newCB := make([]*mat.Dense, n)
-	pool.RunPartitioned(scheduler.Partition(rows, pool.Workers()), func(i int) {
-		if ctx.Err() != nil {
-			return
-		}
-		d := rsvd.Decompose(gens[i], newSlices[i], r, opts)
-		newA[i] = d.U
-		newCB[i] = d.V.ScaleColumns(d.S)
-	})
+	newA, newCB := stage1Sketches(ctx, newSlices, gens, cfg, pool)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -181,6 +174,12 @@ func (s *StreamingDPar2) Absorb(newSlices []*mat.Dense) error {
 // stream (K reflects them) but Result is stale; call Refresh to re-derive
 // the factors. Re-absorbing the batch in that state would duplicate it.
 func (s *StreamingDPar2) AbsorbCtx(ctx context.Context, newSlices []*mat.Dense) error {
+	if len(newSlices) == 0 {
+		// Append would no-op, but the refresh below would still burn
+		// RefreshIters warm-start iterations; an empty batch must leave
+		// Result untouched.
+		return nil
+	}
 	if err := s.comp.AppendCtx(ctx, s.g, newSlices, s.cfg); err != nil {
 		return err
 	}

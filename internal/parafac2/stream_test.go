@@ -55,6 +55,46 @@ func TestAppendValidation(t *testing.T) {
 	}
 }
 
+func TestAppendRejectsNarrowCompressed(t *testing.T) {
+	// A hand-built Compressed with J < rank (which no validated
+	// decomposition produces) must be rejected before any work starts —
+	// the rsvd padding path would otherwise silently mis-shape F blocks.
+	g := rng.New(21)
+	comp := &Compressed{J: 3, Rank: 5}
+	bad := []*mat.Dense{mat.New(10, 3)}
+	if err := comp.Append(g, bad, smallConfig(5)); err == nil {
+		t.Fatal("expected J < rank error")
+	}
+}
+
+func TestAbsorbEmptyBatchLeavesResultUntouched(t *testing.T) {
+	// An empty batch must not burn RefreshIters warm-start iterations:
+	// AbsorbCtx early-returns and Result stays the exact same object.
+	g := rng.New(22)
+	initial := synthPARAFAC2(g, []int{50, 60, 45}, 18, 3, 0.02)
+	st, err := NewStreamingDPar2(initial, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Result()
+	fitBefore := before.Fitness
+	if err := st.Absorb(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Absorb([]*mat.Dense{}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Result() != before {
+		t.Fatal("empty Absorb replaced Result (ran a refresh)")
+	}
+	if st.Result().Fitness != fitBefore {
+		t.Fatal("empty Absorb changed the factors")
+	}
+	if st.K() != initial.K() {
+		t.Fatalf("empty Absorb changed K to %d", st.K())
+	}
+}
+
 func TestStreamingDPar2TracksBatches(t *testing.T) {
 	g := rng.New(3)
 	full := synthPARAFAC2(g, []int{50, 60, 45, 70, 55, 65, 40, 75}, 18, 3, 0.02)

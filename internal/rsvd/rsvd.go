@@ -51,12 +51,22 @@ func (o Options) normalize() Options {
 	return o
 }
 
+// SketchWidth returns the sketch width r + Oversample after normalization —
+// the per-shard scratch column count the sharded stage-1 path budgets for.
+func (o Options) SketchWidth(r int) int {
+	o = o.normalize()
+	return r + o.Oversample
+}
+
 // Decompose computes a rank-r randomized SVD of a using the generator g for
 // the sketch. The result satisfies A ≈ U diag(S) Vᵀ with U ∈ R^{I×r} column
 // orthonormal, S descending, V ∈ R^{J×r} column orthonormal.
 //
 // When r (plus oversampling) is no smaller than min(I, J), the randomized
 // path degenerates and a deterministic truncated SVD is returned instead.
+// The result always has exactly r columns: when even min(I, J) < r the
+// deficient SVD is zero-padded to rank r (see padRank), so callers may rely
+// on r-column factors unconditionally.
 func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	opts = opts.normalize()
 	if r <= 0 {
@@ -70,7 +80,7 @@ func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	if sketch >= minDim {
 		// Sketch would not compress anything; deterministic SVD is both
 		// cheaper and exact here.
-		return lapack.TruncatedWith(a, min(r, minDim), opts.Runner)
+		return padRank(lapack.TruncatedWith(a, min(r, minDim), opts.Runner), r)
 	}
 
 	// Y = (AAᵀ)^q A Ω.
@@ -91,4 +101,28 @@ func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	inner := lapack.Truncated(b, r)
 	u := q.MulInto(mat.New(q.Rows, r), inner.U, rn)
 	return lapack.SVD{U: u, S: inner.S, V: inner.V}
+}
+
+// padRank widens a rank-deficient SVD to exactly r columns by appending zero
+// columns to U and V and zero singular values to S. The result carries the
+// same rank-min(I, J) information in rank-r shape: reconstructions are
+// unchanged (the zero tail contributes nothing) and the leading len(d.S)
+// columns keep their orthonormality, but the padded columns themselves are
+// zero, not orthonormal. Every caller that assumes exactly-r factors
+// (Compressed's A_k and F blocks, shard merges) relies on this shape.
+func padRank(d lapack.SVD, r int) lapack.SVD {
+	k := len(d.S)
+	if k >= r {
+		return d
+	}
+	s := make([]float64, r)
+	copy(s, d.S)
+	return lapack.SVD{U: padCols(d.U, r), S: s, V: padCols(d.V, r)}
+}
+
+// padCols returns m widened to exactly c columns with a zero tail.
+func padCols(m *mat.Dense, c int) *mat.Dense {
+	out := mat.New(m.Rows, c)
+	out.SetSubMatrix(0, 0, m)
+	return out
 }

@@ -1,0 +1,186 @@
+package rsvd
+
+import (
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestNumShards(t *testing.T) {
+	cases := []struct {
+		rows, cols, shardRows, sketch, want int
+	}{
+		{1000, 64, 0, 18, 1},    // sharding disabled
+		{1000, 64, -1, 18, 1},   // sharding disabled
+		{1000, 64, 1000, 18, 1}, // at threshold: no shard
+		{1001, 64, 1000, 18, 2},
+		{8000, 64, 1000, 18, 8},
+		{1600, 64, 230, 18, 7},
+		{100, 64, 10, 18, 5},  // clamped: each shard keeps >= sketch rows
+		{30, 64, 10, 18, 1},   // clamp all the way down to one shard
+		{8000, 18, 1000, 18, 1}, // sketch >= cols: degenerate, stay flat
+		{8000, 12, 1000, 18, 1}, // narrower still: stay flat
+	}
+	for _, c := range cases {
+		if got := NumShards(c.rows, c.cols, c.shardRows, c.sketch); got != c.want {
+			t.Errorf("NumShards(%d, %d, %d, %d) = %d, want %d", c.rows, c.cols, c.shardRows, c.sketch, got, c.want)
+		}
+	}
+}
+
+func TestShardBoundsCoverContiguously(t *testing.T) {
+	for _, c := range [][2]int{{100, 3}, {1600, 7}, {10, 10}, {65537, 2}} {
+		rows, m := c[0], c[1]
+		b := ShardBounds(rows, m)
+		if len(b) != m+1 || b[0] != 0 || b[m] != rows {
+			t.Fatalf("ShardBounds(%d, %d) = %v", rows, m, b)
+		}
+		for i := 0; i < m; i++ {
+			size := b[i+1] - b[i]
+			if size < rows/m || size > rows/m+1 {
+				t.Fatalf("ShardBounds(%d, %d): shard %d has %d rows", rows, m, i, size)
+			}
+		}
+	}
+}
+
+func TestDecomposeShardedMatchesContract(t *testing.T) {
+	g := rng.New(31)
+	a := lowRankPlusNoise(g, 1600, 60, 5, 0)
+	for _, shardRows := range []int{-1, 800, 230} {
+		d := DecomposeSharded(rng.New(7), a, 5, shardRows, DefaultOptions())
+		if len(d.S) != 5 {
+			t.Fatalf("shardRows %d: want 5 singular values, got %d", shardRows, len(d.S))
+		}
+		if d.U.Rows != 1600 || d.U.Cols != 5 || d.V.Rows != 60 || d.V.Cols != 5 {
+			t.Fatalf("shardRows %d: bad shapes U %dx%d V %dx%d", shardRows, d.U.Rows, d.U.Cols, d.V.Rows, d.V.Cols)
+		}
+		if !d.U.IsOrthonormalCols(1e-8) || !d.V.IsOrthonormalCols(1e-8) {
+			t.Fatalf("shardRows %d: factors not orthonormal", shardRows)
+		}
+		// Exactly rank-5 input: each shard sketch captures the full row
+		// space, so the hierarchical result is exact up to round-off.
+		if rel := d.Reconstruct().FrobDist(a) / a.FrobNorm(); rel > 1e-8 {
+			t.Fatalf("shardRows %d: rel err %g", shardRows, rel)
+		}
+	}
+}
+
+func TestDecomposeShardedNoisyNearOptimal(t *testing.T) {
+	g := rng.New(32)
+	a := lowRankPlusNoise(g, 1200, 70, 6, 0.01)
+	det := lapack.Truncated(a, 6)
+	sh := DecomposeSharded(rng.New(9), a, 6, 300, DefaultOptions())
+	errDet := det.Reconstruct().FrobDist(a)
+	errSh := sh.Reconstruct().FrobDist(a)
+	if errSh > errDet*1.1+1e-12 {
+		t.Fatalf("sharded SVD error %g vs deterministic %g", errSh, errDet)
+	}
+}
+
+func TestDecomposeShardedReproducible(t *testing.T) {
+	g := rng.New(33)
+	a := lowRankPlusNoise(g, 900, 50, 4, 0.05)
+	mk := func() lapack.SVD { return DecomposeSharded(rng.New(5), a, 4, 200, DefaultOptions()) }
+	d1, d2 := mk(), mk()
+	for i := range d1.S {
+		if d1.S[i] != d2.S[i] {
+			t.Fatal("sharded SVD singular values not bit-reproducible")
+		}
+	}
+	for i, v := range d1.U.Data {
+		if v != d2.U.Data[i] {
+			t.Fatal("sharded SVD U not bit-reproducible")
+		}
+	}
+}
+
+func TestDecomposeShardedFallsBackWhenShort(t *testing.T) {
+	// A matrix no taller than the threshold must take the flat path and be
+	// bit-identical to Decompose with the same generator.
+	g := rng.New(34)
+	a := lowRankPlusNoise(g, 300, 40, 4, 0.02)
+	flat := Decompose(rng.New(3), a, 4, DefaultOptions())
+	sh := DecomposeSharded(rng.New(3), a, 4, 300, DefaultOptions())
+	for i := range flat.S {
+		if flat.S[i] != sh.S[i] {
+			t.Fatal("fallback path diverged from Decompose")
+		}
+	}
+}
+
+func TestDecomposeShardedNarrowSlicesStayFlat(t *testing.T) {
+	// Regression: a tall slice whose column count is below the sketch width
+	// (J < r+Oversample) must take the flat degenerate path — the shard
+	// sketch's power-iteration QR would otherwise see a Cols×w matrix with
+	// w > Cols and panic.
+	g := rng.New(37)
+	a := lowRankPlusNoise(g, 3000, 12, 4, 0.01)
+	d := DecomposeSharded(rng.New(13), a, 10, 1000, DefaultOptions())
+	flat := Decompose(rng.New(13), a, 10, DefaultOptions())
+	if len(d.S) != 10 {
+		t.Fatalf("want 10 singular values, got %d", len(d.S))
+	}
+	for i := range d.S {
+		if d.S[i] != flat.S[i] {
+			t.Fatal("narrow tall matrix diverged from the flat degenerate path")
+		}
+	}
+	// Even called directly on a narrow shard, SketchShard must clamp the
+	// sketch width instead of panicking.
+	sk := SketchShard(rng.New(14), a.RowView(0, 1000), 10, DefaultOptions())
+	if sk.B.Rows != 12 { // clamped to cols
+		t.Fatalf("narrow shard sketch width %d, want 12", sk.B.Rows)
+	}
+	if !sk.Q.IsOrthonormalCols(1e-8) {
+		t.Fatal("narrow shard Q not orthonormal")
+	}
+}
+
+func TestSketchShardSpansRowSpace(t *testing.T) {
+	g := rng.New(35)
+	a := lowRankPlusNoise(g, 400, 50, 5, 0)
+	sk := SketchShard(rng.New(11), a, 5, DefaultOptions())
+	if !sk.Q.IsOrthonormalCols(1e-8) {
+		t.Fatal("shard Q not orthonormal")
+	}
+	if sk.B.Rows != 13 || sk.B.Cols != 50 { // r + oversample = 13
+		t.Fatalf("shard B is %dx%d", sk.B.Rows, sk.B.Cols)
+	}
+	// Q Qᵀ A must reproduce A for exactly low-rank input.
+	proj := sk.Q.Mul(sk.B)
+	if rel := proj.FrobDist(a) / a.FrobNorm(); rel > 1e-8 {
+		t.Fatalf("shard sketch misses row space: rel err %g", rel)
+	}
+}
+
+func TestDecomposeDegeneratePadsToRank(t *testing.T) {
+	// min(I, J) < r: the deficient SVD must be zero-padded to exactly r
+	// columns so callers can rely on r-column factors.
+	g := rng.New(36)
+	a := mat.Gaussian(g, 6, 4)
+	d := Decompose(g, a, 5, DefaultOptions())
+	if len(d.S) != 5 || d.U.Cols != 5 || d.V.Cols != 5 {
+		t.Fatalf("padded shapes wrong: |S|=%d U %dx%d V %dx%d", len(d.S), d.U.Rows, d.U.Cols, d.V.Rows, d.V.Cols)
+	}
+	if d.S[4] != 0 {
+		t.Fatalf("padded singular value = %g, want 0", d.S[4])
+	}
+	for i := 0; i < d.U.Rows; i++ {
+		if d.U.At(i, 4) != 0 {
+			t.Fatal("padded U column not zero")
+		}
+	}
+	for i := 0; i < d.V.Rows; i++ {
+		if d.V.At(i, 4) != 0 {
+			t.Fatal("padded V column not zero")
+		}
+	}
+	// Reconstruction is unchanged by the zero tail: still the best rank-4
+	// approximation (here exact, since rank(a) <= 4).
+	if rel := d.Reconstruct().FrobDist(a) / a.FrobNorm(); rel > 1e-8 {
+		t.Fatalf("padded reconstruction off: rel err %g", rel)
+	}
+}

@@ -91,7 +91,12 @@ func TestMaxLoadAndImbalance(t *testing.T) {
 	}
 }
 
-func TestQuickGreedyNeverWorseThanRoundRobin(t *testing.T) {
+func TestQuickGreedyNotMeaningfullyWorseThanRoundRobin(t *testing.T) {
+	// "Greedy never beats round-robin" is NOT a theorem — LPT can be
+	// marginally worse on rare inputs (e.g. seed 0x319fd3bc17c7902f:
+	// makespan 3221 vs 3218), which made the strict <= version of this
+	// property flake. The sound bound: LPT ≤ (4/3 − 1/(3m))·OPT and OPT ≤
+	// round-robin's makespan, so greedy ≤ 4/3·round-robin always.
 	f := func(seed uint64) bool {
 		g := rng.New(seed)
 		n := 1 + g.Intn(200)
@@ -100,7 +105,10 @@ func TestQuickGreedyNeverWorseThanRoundRobin(t *testing.T) {
 		for i := range sizes {
 			sizes[i] = 1 + g.Intn(1000)
 		}
-		return MaxLoad(sizes, Partition(sizes, workers)) <= MaxLoad(sizes, RoundRobin(n, workers))
+		greedy := float64(MaxLoad(sizes, Partition(sizes, workers)))
+		rr := float64(MaxLoad(sizes, RoundRobin(n, workers)))
+		m := float64(workers)
+		return greedy <= (4.0/3.0-1.0/(3.0*m))*rr+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

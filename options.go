@@ -111,6 +111,22 @@ func WithOversample(p int) Option {
 	}
 }
 
+// WithShardRows sets the stage-1 sharding threshold (DPar2 only): slices
+// with more than n rows are sketched in row shards of at most n rows (floored
+// at the sketch width rank+oversample), run as independent work units on the
+// Engine's pool, and merged by a second small randomized SVD. n = 0 means
+// the DefaultShardRows threshold (64k rows); negative disables sharding. Sharding changes neither the factor contract
+// nor reproducibility — a fixed (tensor, options) pair is still
+// bit-identical across runs and pool widths — but bounds per-shard stage-1
+// scratch by O(n·(rank+oversample)) and lets one tall slice use the whole
+// pool.
+func WithShardRows(n int) Option {
+	return func(j *jobSpec) error {
+		j.cfg.ShardRows = n
+		return nil
+	}
+}
+
 // WithPowerIters sets the randomized-SVD power-iteration count (DPar2 only).
 func WithPowerIters(q int) Option {
 	return func(j *jobSpec) error {

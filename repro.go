@@ -66,6 +66,20 @@
 // goroutines; each submitting goroutine participates in its own work, so N
 // concurrent callers run on at most width-1 + N goroutines.
 //
+// # Tall slices: sharded stage-1 sketches
+//
+// Stage-1 cost and scratch are proportional to the tallest slice, so one
+// slice with I_k ≫ 10⁵ rows is both the latency straggler and the memory
+// ceiling. Slices taller than the ShardRows threshold (DefaultShardRows =
+// 64k rows; WithShardRows per call, or Config.ShardRows) are therefore
+// sketched in row shards: each shard is an independent work unit balanced
+// across the pool, and the shard bases are merged by a second small
+// randomized SVD. The factor contract is unchanged (A_k column orthonormal,
+// I_k×R) and results stay bit-reproducible for a fixed tensor and options at
+// any pool width; peak stage-1 scratch drops to O(ShardRows·(R+oversample))
+// per in-flight shard, inside the workspace arena's recyclable range.
+// WithShardRows(-1) disables sharding (the pre-sharding behavior).
+//
 // # Migration from the free functions
 //
 // The per-method free functions (DPar2, ALS, RDALS, SPARTan,
@@ -142,6 +156,11 @@ func NewRNG(seed uint64) *RNG { return rng.New(seed) }
 // DefaultConfig mirrors the paper's experimental settings (rank 10, at most
 // 32 ALS iterations, 6 threads, oversampling 8, one power iteration).
 func DefaultConfig() Config { return parafac2.DefaultConfig() }
+
+// DefaultShardRows is the stage-1 sharding threshold applied when
+// Config.ShardRows is 0 (and by WithShardRows(0)): slices taller than this
+// many rows are sketched in row shards and merged hierarchically.
+const DefaultShardRows = parafac2.DefaultShardRows
 
 // NewIrregular wraps slices (which must share a column count) as an
 // irregular tensor.

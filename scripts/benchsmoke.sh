@@ -1,39 +1,41 @@
 #!/usr/bin/env sh
-# Benchmark smoke guard: runs the two perf-trajectory benchmarks
+# Benchmark smoke guard: runs the perf-trajectory benchmarks
 # (BenchmarkDPar2 end-to-end, BenchmarkDPar2IterationAllocs for the
-# allocation budget) and fails when allocations per ALS iteration regress
-# above the budget. BENCH_1.json recorded ~104 allocs/iter after the PR-1
-# arena work; the guard allows headroom to ~150 before failing.
+# allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path)
+# and fails when allocations per ALS iteration regress above the budget on
+# either iteration bench. BENCH_1.json recorded ~104 allocs/iter after the
+# PR-1 arena work; the guard allows headroom to ~150 before failing.
 #
 # Usage: scripts/benchsmoke.sh [max-allocs-per-iter]
 set -eu
 
 budget="${1:-150}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs)$' -benchtime 2x -benchmem .)"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice)$' -benchtime 2x -benchmem .)"
 echo "$out"
 
 echo "$out" | awk -v budget="$budget" '
-/^BenchmarkDPar2IterationAllocs/ {
+/^BenchmarkDPar2(IterationAllocs|TallSlice)/ {
     iters = 0; allocs = -1
     for (i = 1; i <= NF; i++) {
         if ($i == "als-iters")  iters  = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (iters <= 0 || allocs < 0) {
-        print "benchsmoke: could not parse als-iters/allocs from benchmark output" > "/dev/stderr"
+        printf "benchsmoke: could not parse als-iters/allocs from %s\n", $1 > "/dev/stderr"
         exit 2
     }
     per = allocs / iters
-    printf "benchsmoke: %.1f allocs per ALS iteration (budget %d)\n", per, budget
-    found = 1
+    printf "benchsmoke: %s %.1f allocs per ALS iteration (budget %d)\n", $1, per, budget
+    found++
     if (per > budget) {
-        printf "benchsmoke: FAIL — allocations per ALS iteration regressed above %d\n", budget > "/dev/stderr"
-        exit 1
+        printf "benchsmoke: FAIL — %s regressed above %d allocs per ALS iteration\n", $1, budget > "/dev/stderr"
+        bad = 1
     }
 }
 END {
-    if (!found) {
-        print "benchsmoke: BenchmarkDPar2IterationAllocs did not run" > "/dev/stderr"
+    if (found < 2) {
+        print "benchsmoke: expected both BenchmarkDPar2IterationAllocs and BenchmarkDPar2TallSlice to run" > "/dev/stderr"
         exit 2
     }
+    if (bad) exit 1
 }'

@@ -112,6 +112,46 @@ func BenchmarkDPar2TallSlice(b *testing.B) {
 	b.ReportMetric(float64(iters), "als-iters")
 }
 
+// BenchmarkAbsorb guards the streaming absorb path: with Q in lazy factored
+// form, one Absorb pays only the new slices' sketches, the R-sized stage-2
+// update, the O(K·R²) in-place basis rotation, and RefreshIters
+// compressed-space iterations — so per-batch time and allocations must stay
+// (nearly) flat as the absorbed history K grows. The K=8 and K=64 variants
+// absorb the identical batch; each iteration forks the bootstrapped stream
+// (outside the timer) so every absorb replays at a fixed K with identical
+// RNG state. benchsmoke.sh budgets allocs/op on both.
+func BenchmarkAbsorb(b *testing.B) {
+	const batchSlices = 4
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			g := rng.New(40)
+			rows := make([]int, k)
+			for i := range rows {
+				rows[i] = 300 + 40*(i%6)
+			}
+			base := datagen.LowRank(g, rows, 40, 8, 0.02)
+			batch := datagen.LowRank(g, []int{2400, 2800, 2200, 2600}[:batchSlices], 40, 8, 0.02).Slices
+			cfg := benchConfig(8)
+			cfg.Tol = 0
+			st, err := parafac2.NewStreamingDPar2(base, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fork := st.Clone()
+				b.StartTimer()
+				if err := fork.Absorb(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSlices), "batch-slices")
+		})
+	}
+}
+
 // --- Fig. 1: total running time per method (trade-off) -------------------
 
 func BenchmarkFig1TradeOff(b *testing.B) {
@@ -385,7 +425,7 @@ func BenchmarkAblationConvergence(b *testing.B) {
 	}
 	tf := make([]*mat.Dense, ten.K())
 	for k := range tf {
-		tf[k] = res.Q[k].TMul(comp.A[k]).Mul(comp.F[k])
+		tf[k] = res.Qk(k).TMul(comp.A[k]).Mul(comp.F[k])
 	}
 	b.Run("gram-trick", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -109,7 +109,7 @@ func main() {
 		ten.K(), ten.J, ten.MaxRows(), ten.NumElements())
 	fmt.Printf("rank          %d\n", *rank)
 	fmt.Printf("iterations    %d\n", res.Iters)
-	fmt.Printf("fitness       %.6f\n", res.Fitness)
+	fmt.Printf("fitness       %.6f (%s)\n", res.Fitness, res.FitnessKind)
 	fmt.Printf("preprocess    %v\n", res.PreprocessTime)
 	fmt.Printf("iteration     %v total", res.IterTime)
 	if res.Iters > 0 {

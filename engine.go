@@ -271,8 +271,9 @@ func (e *Engine) Compress(ctx context.Context, t *Irregular, opts ...Option) (*C
 
 // DecomposeCompressed runs DPar2's iteration phase on a previously
 // compressed tensor (only DPar2 iterates on the compressed form; any other
-// WithMethod is an error). Result.Fitness is the compressed-space estimate;
-// see DPar2FromCompressed.
+// WithMethod is an error). Result.Fitness is the compressed-space estimate
+// (Result.FitnessKind == FitnessCompressed); see DPar2FromCompressed, and
+// use Engine.Fitness for the true value when the tensor is at hand.
 func (e *Engine) DecomposeCompressed(ctx context.Context, c *Compressed, opts ...Option) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("repro: DecomposeCompressed with nil Compressed")
@@ -302,7 +303,11 @@ func (e *Engine) NewStream(ctx context.Context, initial *Irregular, opts ...Opti
 }
 
 // Fitness evaluates a result against a tensor on the Engine's pool (the
-// package-level Fitness uses a process-wide default pool instead).
+// package-level Fitness uses a process-wide default pool instead). The value
+// is always the FitnessTrue quantity — use it to tell the true fit from the
+// compressed-space estimate a streaming refresh or DecomposeCompressed left
+// in Result.Fitness (Result.FitnessKind distinguishes the two). Factored
+// results are evaluated without materializing any dense Q_k.
 func (e *Engine) Fitness(t *Irregular, r *Result) float64 {
 	return parafac2.FitnessWith(t, r, e.pool)
 }

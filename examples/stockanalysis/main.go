@@ -74,11 +74,11 @@ func main() {
 			if si.Rows < targetRows || sj.Rows < targetRows {
 				return 0
 			}
-			ui := res.Uk(i)
-			uj := res.Uk(j)
-			return repro.StockSimilarity(
-				ui.RowBlock(ui.Rows-targetRows, ui.Rows),
-				uj.RowBlock(uj.Rows-targetRows, uj.Rows), 0.01)
+			// UkRows materializes just the trailing window from the
+			// factored form — O(window·R²), not a full U_k per pair.
+			ui := res.UkRows(i, si.Rows-targetRows, si.Rows)
+			uj := res.UkRows(j, sj.Rows-targetRows, sj.Rows)
+			return repro.StockSimilarity(ui, uj, 0.01)
 		})
 		knn := repro.KNN(sim, target, 5)
 		rwr := repro.RWR(sim, target, repro.DefaultRWRConfig())

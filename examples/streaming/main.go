@@ -46,7 +46,12 @@ func main() {
 
 	// Absorb the rest in batches of 6, as if they arrived over time. Each
 	// absorb warm-starts from the previous factors and runs at most
-	// stream.RefreshIters iterations instead of the full 20.
+	// stream.RefreshIters iterations instead of the full 20. The factors
+	// stay in lazy factored form (Q_k = A_k Z_k P_kᵀ), so an absorb never
+	// touches the already-absorbed slices — its latency is independent of
+	// how much history the stream carries. A failed absorb is retryable:
+	// the stream (RNG included) is untouched, and the retry is
+	// bit-identical to a run that was never interrupted.
 	for lo := 12; lo < 48; lo += 6 {
 		batchStart := time.Now()
 		if err := stream.AbsorbCtx(ctx, full.Slices[lo:lo+6]); err != nil {
@@ -56,6 +61,16 @@ func main() {
 			stream.K(), fitnessOverSeen(full, stream),
 			time.Since(batchStart).Round(time.Millisecond), stream.Result().Iters)
 	}
+
+	// The refresh reports a compressed-space fitness (exact against the
+	// compressed approximation); FitnessKind tells it apart from the true
+	// fitness eng.Decompose reports. Materialize() opts back into eager
+	// dense Q_k when repeated slice access is coming.
+	res := stream.Result()
+	fmt.Printf("\nstream result: fitness %.4f (kind %q), K=%d, Q factored=%v\n",
+		res.Fitness, res.FitnessKind, res.K(), res.Factored())
+	u := res.Uk(0) // materialized lazily from A_0 Z_0 P_0ᵀ H
+	fmt.Printf("U_0 is %dx%d, materialized on demand\n", u.Rows, u.Cols)
 
 	// Compare against decomposing the full tensor from scratch.
 	batch, err := eng.Decompose(ctx, full, opts...)

@@ -8,9 +8,16 @@
 //
 // Layout (all integers little-endian uint64, all floats IEEE-754 binary64):
 //
-//	"DPT2" | version | K | J | I_1..I_K | slice_1 .. slice_K   (tensor)
-//	"DPF2" | version | K | J | R | I_1..I_K |
-//	       H (R·R) | V (J·R) | S (K·R) | Q_1..Q_K (I_k·R each) (result)
+//	"DPT2" | version=1 | K | J | I_1..I_K | slice_1 .. slice_K     (tensor)
+//	"DPF2" | version=2 | qform | K | J | R | I_1..I_K |
+//	       H (R·R) | V (J·R) | S (K·R) | Q payload                 (result)
+//
+// The result's Q payload depends on qform: qformDense (0) stores the dense
+// Q_k (I_k·R each); qformFactored (1) stores the factored form DPar2 results
+// carry — Z_1..Z_K, P_1..P_K (R·R each), then A_1..A_K (I_k·R each) with
+// Q_k = A_k Z_k P_kᵀ — preserving laziness (and the smaller A-plus-R×R
+// footprint) across a save/load. Version-1 result files (the pre-factored
+// dense layout, without the qform field) are still read.
 package dataio
 
 import (
@@ -27,9 +34,16 @@ import (
 )
 
 const (
-	tensorMagic = "DPT2"
-	resultMagic = "DPF2"
-	version     = 1
+	tensorMagic   = "DPT2"
+	resultMagic   = "DPF2"
+	tensorVersion = 1
+	// resultVersion 2 added the qform field and the factored-Q payload;
+	// ReadResult still accepts version-1 (dense-only) files.
+	resultVersion = 2
+
+	qformDense    = 0
+	qformFactored = 1
+
 	// maxDim guards against corrupt headers allocating absurd buffers.
 	maxDim = 1 << 32
 )
@@ -40,7 +54,7 @@ func WriteTensor(w io.Writer, t *tensor.Irregular) error {
 	if _, err := bw.WriteString(tensorMagic); err != nil {
 		return err
 	}
-	header := []uint64{version, uint64(t.K()), uint64(t.J)}
+	header := []uint64{tensorVersion, uint64(t.K()), uint64(t.J)}
 	for _, s := range t.Slices {
 		header = append(header, uint64(s.Rows))
 	}
@@ -65,8 +79,8 @@ func ReadTensor(r io.Reader) (*tensor.Irregular, error) {
 	if err != nil {
 		return nil, err
 	}
-	if head[0] != version {
-		return nil, fmt.Errorf("dataio: unsupported version %d", head[0])
+	if head[0] != tensorVersion {
+		return nil, fmt.Errorf("dataio: unsupported tensor version %d", head[0])
 	}
 	k, j := head[1], head[2]
 	if k == 0 || j == 0 || k > maxDim || j > maxDim {
@@ -114,18 +128,29 @@ func LoadTensor(path string) (*tensor.Irregular, error) {
 	return ReadTensor(f)
 }
 
-// WriteResult serializes the factor matrices of a decomposition.
+// WriteResult serializes the factor matrices of a decomposition. A factored
+// result (DPar2's lazy Q_k = A_k Z_k P_kᵀ) is written in factored form —
+// the compact representation round-trips without ever materializing the
+// dense slices; eager results are written dense.
 func WriteResult(w io.Writer, res *parafac2.Result) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(resultMagic); err != nil {
 		return err
 	}
-	k := len(res.Q)
+	k := res.K()
 	r := res.H.Rows
 	j := res.V.Rows
-	header := []uint64{version, uint64(k), uint64(j), uint64(r)}
-	for _, q := range res.Q {
-		header = append(header, uint64(q.Rows))
+	a, z, p, factored := res.FactoredQ()
+	if !res.Factored() {
+		factored = false // dense cache present: write the eager form
+	}
+	qform := uint64(qformDense)
+	if factored {
+		qform = qformFactored
+	}
+	header := []uint64{resultVersion, qform, uint64(k), uint64(j), uint64(r)}
+	for i := 0; i < k; i++ {
+		header = append(header, uint64(res.SliceRows(i)))
 	}
 	if err := writeUints(bw, header); err != nil {
 		return err
@@ -141,8 +166,26 @@ func WriteResult(w io.Writer, res *parafac2.Result) error {
 			return err
 		}
 	}
-	for _, q := range res.Q {
-		if err := writeFloats(bw, q.Data); err != nil {
+	if factored {
+		for _, m := range z {
+			if err := writeFloats(bw, m.Data); err != nil {
+				return err
+			}
+		}
+		for _, m := range p {
+			if err := writeFloats(bw, m.Data); err != nil {
+				return err
+			}
+		}
+		for _, m := range a {
+			if err := writeFloats(bw, m.Data); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	for i := 0; i < k; i++ {
+		if err := writeFloats(bw, res.Qk(i).Data); err != nil {
 			return err
 		}
 	}
@@ -150,26 +193,51 @@ func WriteResult(w io.Writer, res *parafac2.Result) error {
 }
 
 // ReadResult deserializes factor matrices written by WriteResult. Only the
-// factors are restored (timings and fitness are run artifacts, not state).
+// factors are restored (timings and fitness are run artifacts, not state —
+// FitnessKind on a loaded result is FitnessUnset). A factored payload is
+// restored in factored form: the loaded result materializes Q_k lazily,
+// exactly like the result it was saved from.
 func ReadResult(r io.Reader) (*parafac2.Result, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	if err := expectMagic(br, resultMagic); err != nil {
 		return nil, err
 	}
-	head, err := readUints(br, 4)
+	ver, err := readUints(br, 1)
 	if err != nil {
 		return nil, err
 	}
-	if head[0] != version {
-		return nil, fmt.Errorf("dataio: unsupported version %d", head[0])
+	qform := uint64(qformDense)
+	switch ver[0] {
+	case 1:
+		// Pre-factored layout: no qform field, dense payload.
+	case resultVersion:
+		qf, err := readUints(br, 1)
+		if err != nil {
+			return nil, err
+		}
+		qform = qf[0]
+		if qform != qformDense && qform != qformFactored {
+			return nil, fmt.Errorf("dataio: unknown result Q form %d", qform)
+		}
+	default:
+		return nil, fmt.Errorf("dataio: unsupported result version %d", ver[0])
 	}
-	k, j, rank := head[1], head[2], head[3]
+	head, err := readUints(br, 3)
+	if err != nil {
+		return nil, err
+	}
+	k, j, rank := head[0], head[1], head[2]
 	if k == 0 || j == 0 || rank == 0 || k > maxDim || j > maxDim || rank > maxDim {
 		return nil, fmt.Errorf("dataio: corrupt result header")
 	}
 	rows, err := readUints(br, int(k))
 	if err != nil {
 		return nil, err
+	}
+	for _, ik := range rows {
+		if ik == 0 || ik > maxDim {
+			return nil, fmt.Errorf("dataio: corrupt Q height %d", ik)
+		}
 	}
 	res := &parafac2.Result{
 		H: mat.New(int(rank), int(rank)),
@@ -188,16 +256,37 @@ func ReadResult(r io.Reader) (*parafac2.Result, error) {
 			return nil, err
 		}
 	}
-	res.Q = make([]*mat.Dense, k)
-	for i := range res.Q {
-		if rows[i] == 0 || rows[i] > maxDim {
-			return nil, fmt.Errorf("dataio: corrupt Q height %d", rows[i])
+	readBlocks := func(heights func(i int) int) ([]*mat.Dense, error) {
+		ms := make([]*mat.Dense, k)
+		for i := range ms {
+			ms[i] = mat.New(heights(i), int(rank))
+			if err := readFloats(br, ms[i].Data); err != nil {
+				return nil, err
+			}
 		}
-		res.Q[i] = mat.New(int(rows[i]), int(rank))
-		if err := readFloats(br, res.Q[i].Data); err != nil {
+		return ms, nil
+	}
+	if qform == qformFactored {
+		z, err := readBlocks(func(int) int { return int(rank) })
+		if err != nil {
 			return nil, err
 		}
+		p, err := readBlocks(func(int) int { return int(rank) })
+		if err != nil {
+			return nil, err
+		}
+		a, err := readBlocks(func(i int) int { return int(rows[i]) })
+		if err != nil {
+			return nil, err
+		}
+		res.SetFactoredQ(a, z, p)
+		return res, nil
 	}
+	q, err := readBlocks(func(i int) int { return int(rows[i]) })
+	if err != nil {
+		return nil, err
+	}
+	res.SetQ(q)
 	return res, nil
 }
 

@@ -116,8 +116,8 @@ func TestResultRoundTrip(t *testing.T) {
 	if !back.H.EqualApprox(res.H, 0) || !back.V.EqualApprox(res.V, 0) {
 		t.Fatal("H/V not identical")
 	}
-	for k := range res.Q {
-		if !back.Q[k].EqualApprox(res.Q[k], 0) {
+	for k := 0; k < res.K(); k++ {
+		if !back.Qk(k).EqualApprox(res.Qk(k), 0) {
 			t.Fatalf("Q_%d not identical", k)
 		}
 		for i := range res.S[k] {
@@ -129,6 +129,135 @@ func TestResultRoundTrip(t *testing.T) {
 	// The restored factors must reconstruct as well as the originals.
 	if got := parafac2.Fitness(ten, back); math.Abs(got-res.Fitness) > 1e-12 {
 		t.Fatalf("restored fitness %v != %v", got, res.Fitness)
+	}
+}
+
+// TestResultRoundTripKeepsFactoredForm: a DPar2 result is saved in factored
+// form and restored in factored form — the lazy-Q contract (and the compact
+// A-plus-R×R footprint) survives serialization, with the factors themselves
+// bit-identical.
+func TestResultRoundTripKeepsFactoredForm(t *testing.T) {
+	ten := sampleTensor()
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 10
+	cfg.Threads = 2
+	res, err := parafac2.DPar2(ten, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Factored() {
+		t.Fatal("DPar2 result is not factored")
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Factored() {
+		t.Fatal("factored result came back dense")
+	}
+	if back.FitnessKind != parafac2.FitnessUnset {
+		t.Fatalf("loaded result has FitnessKind %v, want unset", back.FitnessKind)
+	}
+	a0, z0, p0, _ := res.FactoredQ()
+	a1, z1, p1, _ := back.FactoredQ()
+	for k := range a0 {
+		if !a1[k].EqualApprox(a0[k], 0) || !z1[k].EqualApprox(z0[k], 0) || !p1[k].EqualApprox(p0[k], 0) {
+			t.Fatalf("factored components of slice %d not bit-identical", k)
+		}
+	}
+}
+
+// TestResultRoundTripDense: eager (baseline) results still use the dense
+// layout and restore dense.
+func TestResultRoundTripDense(t *testing.T) {
+	ten := sampleTensor()
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 5
+	cfg.Threads = 1
+	res, err := parafac2.ALS(ten, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factored() {
+		t.Fatal("ALS result unexpectedly factored")
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Factored() {
+		t.Fatal("dense result came back factored")
+	}
+	for k := 0; k < res.K(); k++ {
+		if !back.Qk(k).EqualApprox(res.Qk(k), 0) {
+			t.Fatalf("Q_%d not identical", k)
+		}
+	}
+}
+
+// TestReadResultV1BackCompat: version-1 result files (the pre-factored dense
+// layout without the qform field) must still load.
+func TestReadResultV1BackCompat(t *testing.T) {
+	ten := sampleTensor()
+	cfg := parafac2.DefaultConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 5
+	cfg.Threads = 1
+	res, err := parafac2.DPar2(ten, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Materialize()
+
+	// Hand-craft the v1 layout: magic | 1 | K | J | R | I_1..I_K | H | V |
+	// S | dense Q_1..Q_K.
+	var buf bytes.Buffer
+	k := res.K()
+	buf.WriteString(resultMagic)
+	header := []uint64{1, uint64(k), uint64(res.V.Rows), uint64(res.H.Rows)}
+	for i := 0; i < k; i++ {
+		header = append(header, uint64(res.SliceRows(i)))
+	}
+	if err := writeUints(&buf, header); err != nil {
+		t.Fatal(err)
+	}
+	payload := [][]float64{res.H.Data, res.V.Data}
+	for _, s := range res.S {
+		payload = append(payload, s)
+	}
+	for i := 0; i < k; i++ {
+		payload = append(payload, res.Qk(i).Data)
+	}
+	for _, p := range payload {
+		if err := writeFloats(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Factored() {
+		t.Fatal("v1 file must restore a dense result")
+	}
+	if !back.H.EqualApprox(res.H, 0) || !back.V.EqualApprox(res.V, 0) {
+		t.Fatal("H/V not identical from v1 file")
+	}
+	for i := 0; i < k; i++ {
+		if !back.Qk(i).EqualApprox(res.Qk(i), 0) {
+			t.Fatalf("Q_%d not identical from v1 file", i)
+		}
 	}
 }
 

@@ -108,15 +108,17 @@ func TableIII(ctx context.Context, d Dataset, cfg parafac2.Config, target, topK 
 	// Only stocks with the same time range are comparable (Equation 10 is
 	// defined for same-shaped U matrices). The paper constructs the tensor
 	// over a common window; we emulate by padding comparison to stocks with
-	// at least the target's rows, truncated to the window.
+	// at least the target's rows, truncated to the window. UkRows
+	// materializes just the trailing window from the factored form —
+	// O(window·R²) per stock instead of the O(I_k·R²) a full U_k costs.
 	us := make([]*mat.Dense, k)
 	var comparable []int
 	for kk := 0; kk < k; kk++ {
-		if d.Tensor.Slices[kk].Rows < targetRows {
+		rows := d.Tensor.Slices[kk].Rows
+		if rows < targetRows {
 			continue
 		}
-		u := res.Uk(kk)
-		us[kk] = u.RowBlock(u.Rows-targetRows, u.Rows) // align on trailing window
+		us[kk] = res.UkRows(kk, rows-targetRows, rows) // align on trailing window
 		comparable = append(comparable, kk)
 	}
 

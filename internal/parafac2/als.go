@@ -89,9 +89,11 @@ func ALSCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, erro
 	}
 	res.IterTime = time.Since(iterStart)
 
-	res.H, res.V, res.Q = h, v, q
+	res.H, res.V = h, v
+	res.SetQ(q)
 	res.TotalTime = time.Since(start)
 	res.Fitness = fitnessWith(t, res, pool)
+	res.FitnessKind = FitnessTrue
 	return res, nil
 }
 

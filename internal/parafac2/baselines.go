@@ -117,9 +117,11 @@ func RDALSCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, er
 	}
 	res.IterTime = time.Since(iterStart)
 
-	res.H, res.V, res.Q = h, uc.Mul(vTilde), q
+	res.H, res.V = h, uc.Mul(vTilde)
+	res.SetQ(q)
 	res.TotalTime = time.Since(start)
 	res.Fitness = fitnessWith(t, res, pool)
+	res.FitnessKind = FitnessTrue
 	return res, nil
 }
 
@@ -202,9 +204,11 @@ func SPARTanCtx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, 
 	}
 	res.IterTime = time.Since(iterStart)
 
-	res.H, res.V, res.Q = h, v, q
+	res.H, res.V = h, v
+	res.SetQ(q)
 	res.TotalTime = time.Since(start)
 	res.Fitness = fitnessWith(t, res, pool)
+	res.FitnessKind = FitnessTrue
 	return res, nil
 }
 

@@ -235,8 +235,8 @@ func TestCancelledRefreshRecoverable(t *testing.T) {
 	if err := s.Refresh(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Result().Q) != 6 {
-		t.Fatalf("recovered result covers %d slices, want 6", len(s.Result().Q))
+	if s.Result().K() != 6 {
+		t.Fatalf("recovered result covers %d slices, want 6", s.Result().K())
 	}
 	if fit := Fitness(full, s.Result()); fit < 0.95 {
 		t.Fatalf("recovered fitness %v", fit)

@@ -46,6 +46,25 @@ func (c *Compressed) SizeBytes() int64 {
 	return n * 8
 }
 
+// Clone returns an independent copy: Append on the original no longer
+// affects the clone and vice versa. The A_k bases are shared, not copied —
+// they are immutable once built (Append only appends new ones; the in-place
+// basis rotation touches F blocks only) — so a clone costs O(K·R² + J·R).
+func (c *Compressed) Clone() *Compressed {
+	f := make([]*mat.Dense, len(c.F))
+	for i, b := range c.F {
+		f[i] = b.Clone()
+	}
+	return &Compressed{
+		A:    append([]*mat.Dense(nil), c.A...),
+		D:    c.D.Clone(),
+		E:    append([]float64(nil), c.E...),
+		F:    f,
+		J:    c.J,
+		Rank: c.Rank,
+	}
+}
+
 // SliceApprox materializes X̃_k = A_k F⁽ᵏ⁾ E Dᵀ (Equation 6) — used by tests
 // and the convergence identity, not by the iteration hot path.
 func (c *Compressed) SliceApprox(k int) *mat.Dense {
@@ -227,6 +246,7 @@ func DPar2Ctx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, er
 	res.PreprocessTime = preprocess
 	res.TotalTime = time.Since(start)
 	res.Fitness = fitnessWith(t, res, pool)
+	res.FitnessKind = FitnessTrue
 	return res, nil
 }
 
@@ -235,13 +255,14 @@ func DPar2Ctx(ctx context.Context, t *tensor.Irregular, cfg Config) (*Result, er
 // across runs (e.g. rank sweeps over the same data) and so benchmarks can
 // time the phases independently.
 //
-// Result.Fitness is a compressed-space estimate: 1 − e/‖X̃‖², where e is the
-// final convergence measure and X̃ the compressed approximation the iteration
-// sees (the input tensor itself is not available here). Because A_k, D, Z_k,
-// and P_k all have orthonormal columns this is the exact fitness of the
-// factorization against X̃; it differs from the fitness against the original
-// tensor only by the (one-time) compression error. Use Fitness for the
-// latter when the tensor is at hand.
+// Result.Fitness is a compressed-space estimate (FitnessKind ==
+// FitnessCompressed): 1 − e/‖X̃‖², where e is the final convergence measure
+// and X̃ the compressed approximation the iteration sees (the input tensor
+// itself is not available here). Because A_k, D, Z_k, and P_k all have
+// orthonormal columns this is the exact fitness of the factorization against
+// X̃; it differs from the fitness against the original tensor only by the
+// (one-time) compression error. Use Fitness for the latter when the tensor
+// is at hand.
 //
 // All per-slice working state is allocated once up front and every kernel in
 // the loop writes into preallocated or arena scratch, so the steady-state
@@ -301,17 +322,14 @@ func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmS
 	}
 
 	// Per-slice R×R working state (Z_k, P_k, and T_k = P_k Z_kᵀ F⁽ᵏ⁾, the
-	// factor of Y_k), allocated once and overwritten in place each
-	// iteration. Row kk of svals receives the singular values of slice
+	// factor of Y_k), allocated once on slab backings (allocation count
+	// independent of K — the streaming absorb path runs this per batch) and
+	// overwritten in place each iteration. Z_k and P_k become the result's
+	// factored Q. Row kk of svals receives the singular values of slice
 	// kk's Q-update SVD (needed only as scratch).
-	z := make([]*mat.Dense, k)
-	p := make([]*mat.Dense, k)
-	tf := make([]*mat.Dense, k)
-	for kk := 0; kk < k; kk++ {
-		z[kk] = mat.New(r, r)
-		p[kk] = mat.New(r, r)
-		tf[kk] = mat.New(r, r)
-	}
+	z := newRRBlocks(k, r)
+	p := newRRBlocks(k, r)
+	tf := newRRBlocks(k, r)
 	svals := mat.New(k, r)
 
 	dtv := mat.New(r, r)                   // DᵀV
@@ -400,16 +418,14 @@ func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmS
 		return nil, err
 	}
 
-	// Materialize Q_k = A_k Z_k P_kᵀ (line 25 materializes U_k = Q_k H).
-	q := make([]*mat.Dense, k)
-	pool.ParallelFor(k, func(kk int) {
-		az := arena.GetUninit(comp.A[kk].Rows, r)
-		comp.A[kk].MulInto(az, z[kk], nil)
-		q[kk] = az.MulT(p[kk])
-		arena.Put(az)
-	})
-
-	res.H, res.V, res.Q = h, v, q
+	// Q stays in factored form: Q_k = A_k Z_k P_kᵀ, with the A_k shared
+	// with the compressed representation (immutable once built — Append
+	// only appends to the A slice). The Result's accessors materialize
+	// dense slices on demand (line 25's U_k = Q_k H included), so nothing
+	// here pays the K-wide O(Σ_k I_k·R) pass the old eager loop did — the
+	// property that keeps streaming absorbs independent of the history.
+	res.H, res.V = h, v
+	res.SetFactoredQ(append([]*mat.Dense(nil), comp.A...), z, p)
 	// Compressed-space fitness: prev is the final convergence measure
 	// Σ_k ‖Q_kᵀX̃_k − H S_k Vᵀ‖², which equals the full compressed error
 	// Σ_k ‖X̃_k − Q_k H S_k Vᵀ‖² because Z_k and P_k are square orthogonal
@@ -422,6 +438,7 @@ func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmS
 		} else {
 			res.Fitness = 1
 		}
+		res.FitnessKind = FitnessCompressed
 	}
 	res.IterTime = time.Since(iterStart)
 	return res, nil

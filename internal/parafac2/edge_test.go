@@ -71,8 +71,8 @@ func TestSliceExactlyRankRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range res.Q {
-		if !q.IsOrthonormalCols(1e-7) {
+	for k := 0; k < res.K(); k++ {
+		if !res.Qk(k).IsOrthonormalCols(1e-7) {
 			t.Fatalf("Q_%d lost orthonormality with minimal rows", k)
 		}
 	}
@@ -169,7 +169,7 @@ func TestManyTinySlices(t *testing.T) {
 	if res.Fitness < 0.9 {
 		t.Fatalf("many-slice fitness %v", res.Fitness)
 	}
-	if len(res.Q) != 120 || len(res.S) != 120 {
+	if res.K() != 120 || len(res.S) != 120 {
 		t.Fatal("per-slice outputs incomplete")
 	}
 }

@@ -10,6 +10,31 @@
 //
 // with S_k diagonal and H, V shared across slices. All methods minimize
 // Σ_k ‖X_k − Q_k H S_k Vᵀ‖_F² by alternating least squares.
+//
+// # Lazy factored Q
+//
+// DPar2 results keep Q in factored form, Q_k = A_k Z_k P_kᵀ, where A_k is the
+// compressed basis and Z_k, P_k are R×R: the dense I_k×R slices are
+// materialized lazily by the accessors (Result.Qk, Uk, UkRows,
+// ReconstructSlice), never by the iteration itself. That makes a streaming
+// Absorb touch only the new slices — no O(Σ_k I_k·R) pass over the history —
+// and is what keeps absorb latency independent of the slices already seen.
+// Callers that want the old eager dense slices call Result.Materialize once;
+// until then each accessor call recomputes its slice (cheap relative to any
+// use of the I_k×R output). Accessors are safe for concurrent use on an
+// otherwise-unmodified Result; Materialize is not safe to run concurrently
+// with them.
+//
+// # Fitness kinds
+//
+// Result.Fitness carries one of two quantities, told apart by
+// Result.FitnessKind: FitnessTrue is 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² against the
+// input tensor (DPar2, ALS, RD-ALS, SPARTan — anything that had the tensor in
+// hand), while FitnessCompressed is the compressed-space estimate 1 − e/‖X̃‖²
+// that DPar2FromCompressed and streaming refreshes report (exact against the
+// compressed approximation X̃, off from the true fitness only by the one-time
+// compression error). Use Fitness/FitnessWith to re-evaluate a result against
+// a tensor when the true value is needed.
 package parafac2
 
 import (
@@ -150,20 +175,53 @@ func (c Config) runtimePool() (pool *compute.Pool, done func()) {
 	return p, p.Close
 }
 
+// FitnessKind says what quantity Result.Fitness holds (see the package doc).
+type FitnessKind uint8
+
+const (
+	// FitnessUnset means no fitness was computed (e.g. a result
+	// deserialized from disk, or an iteration that never converged enough
+	// to measure).
+	FitnessUnset FitnessKind = iota
+	// FitnessTrue is 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² against the input tensor.
+	FitnessTrue
+	// FitnessCompressed is the compressed-space estimate 1 − e/‖X̃‖²
+	// reported when only the compressed representation was available
+	// (DPar2FromCompressed, streaming refreshes).
+	FitnessCompressed
+)
+
+// String names the kind for logs and reports.
+func (k FitnessKind) String() string {
+	switch k {
+	case FitnessTrue:
+		return "true"
+	case FitnessCompressed:
+		return "compressed"
+	}
+	return "unset"
+}
+
 // Result is the output of a PARAFAC2 decomposition.
 type Result struct {
 	// H is the R×R common matrix; V is the J×R factor shared by all slices.
 	H, V *mat.Dense
 	// S holds the diagonal of each S_k (row k of W in the paper).
 	S [][]float64
-	// Q holds the column-orthonormal Q_k (I_k × R). For DPar2 these are
-	// materialized lazily from the factored form A_k Z_k P_kᵀ.
-	Q []*mat.Dense
+
+	// q caches the dense column-orthonormal Q_k (I_k × R). For DPar2 it
+	// stays nil until Materialize: Q lives in factored form in fq and the
+	// accessors materialize slices on demand.
+	q []*mat.Dense
+	// fq is the factored form Q_k = A_k Z_k P_kᵀ (DPar2 results only).
+	fq *factoredQ
 
 	// Iters is the number of ALS iterations executed.
 	Iters int
-	// Fitness is 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² against the *input* tensor.
-	Fitness float64
+	// Fitness is the model fit; FitnessKind says against what (the true
+	// input tensor, or the compressed approximation — see the package doc).
+	Fitness     float64
+	FitnessKind FitnessKind
 
 	// Timing breakdown.
 	PreprocessTime time.Duration
@@ -179,12 +237,162 @@ type Result struct {
 	ConvergenceTrace []float64
 }
 
-// Uk materializes U_k = Q_k H for slice k.
-func (r *Result) Uk(k int) *mat.Dense { return r.Q[k].Mul(r.H) }
+// factoredQ holds Q in the factored form DPar2 produces: per-slice references
+// to the compressed basis A_k (I_k×R, shared with the Compressed — immutable
+// once built) plus the small R×R Z_k and P_k from the final Q-update SVDs.
+type factoredQ struct {
+	a, z, p []*mat.Dense
+}
 
-// ReconstructSlice returns X̂_k = Q_k H S_k Vᵀ.
+// qMaterializeHook, when non-nil, observes every O(I_k)-cost materialization
+// from the factored form (slice index and row count). Tests install it to
+// prove the streaming absorb path performs no per-old-slice work. Install
+// only while no accessors run concurrently.
+var qMaterializeHook func(k, rows int)
+
+func observeMaterialize(k, rows int) {
+	if h := qMaterializeHook; h != nil {
+		h(k, rows)
+	}
+}
+
+// qk materializes Q_k = (A_k Z_k) P_kᵀ — the same operation order (and arena
+// scratch for the A_k Z_k intermediate) the eager loop used, so materialized
+// slices are bit-identical to the old behavior.
+func (f *factoredQ) qk(k int) *mat.Dense {
+	observeMaterialize(k, f.a[k].Rows)
+	arena := compute.Shared()
+	az := arena.GetUninit(f.a[k].Rows, f.z[k].Cols)
+	f.a[k].MulInto(az, f.z[k], nil)
+	out := az.MulT(f.p[k])
+	arena.Put(az)
+	return out
+}
+
+// mulInto writes rows [lo, hi) of Q_k·B into out ∈ R^{(hi−lo)×cols} by
+// folding B through the small factors first: A_k[lo:hi] · (Z_k (P_kᵀ B)).
+// Cost O((hi−lo)·R·cols + R²·cols) — the cheap path for fitness and
+// row-window accessors.
+func (f *factoredQ) mulInto(out *mat.Dense, k, lo, hi int, b *mat.Dense, arena *compute.Arena) {
+	observeMaterialize(k, hi-lo)
+	r := f.z[k].Rows
+	t1 := arena.GetUninit(r, b.Cols)
+	f.p[k].TMulInto(t1, b, nil)
+	t2 := arena.GetUninit(r, b.Cols)
+	f.z[k].MulInto(t2, t1, nil)
+	f.a[k].RowView(lo, hi).MulInto(out, t2, nil)
+	arena.Put(t1, t2)
+}
+
+// K returns the number of slices the result covers.
+func (r *Result) K() int {
+	if r.q != nil {
+		return len(r.q)
+	}
+	if r.fq != nil {
+		return len(r.fq.a)
+	}
+	return 0
+}
+
+// SliceRows returns I_k, the row count of slice k.
+func (r *Result) SliceRows(k int) int {
+	if r.q != nil {
+		return r.q[k].Rows
+	}
+	return r.fq.a[k].Rows
+}
+
+// Qk returns the column-orthonormal Q_k (I_k × R). Dense results (the
+// baselines, or after Materialize) return the stored matrix, which the caller
+// must not modify; factored results materialize a fresh matrix per call —
+// call Materialize first when many repeated accesses are coming.
+func (r *Result) Qk(k int) *mat.Dense {
+	if r.q != nil {
+		return r.q[k]
+	}
+	return r.fq.qk(k)
+}
+
+// Materialize eagerly caches the dense Q_k for every slice — the pre-lazy
+// behavior, for callers that will access the slices repeatedly. It is
+// idempotent and returns r for chaining. Not safe to run concurrently with
+// the accessors.
+func (r *Result) Materialize() *Result {
+	if r.q != nil || r.fq == nil {
+		return r
+	}
+	q := make([]*mat.Dense, len(r.fq.a))
+	compute.Default().ParallelFor(len(q), func(k int) {
+		q[k] = r.fq.qk(k)
+	})
+	r.q = q
+	return r
+}
+
+// Factored reports whether Q is still held in factored form (no dense cache).
+func (r *Result) Factored() bool { return r.q == nil && r.fq != nil }
+
+// FactoredQ exposes the factored form (A_k, Z_k, P_k with Q_k = A_k Z_k P_kᵀ)
+// when the result holds one — serialization uses it to persist the compact
+// representation. The returned slices are the result's own state: callers
+// must not modify them.
+func (r *Result) FactoredQ() (a, z, p []*mat.Dense, ok bool) {
+	if r.fq == nil {
+		return nil, nil, nil, false
+	}
+	return r.fq.a, r.fq.z, r.fq.p, true
+}
+
+// SetFactoredQ installs a factored Q (deserialization and the DPar2 iteration
+// use it). The three slices must have equal length, with z[k], p[k] ∈ R^{R×R}
+// and a[k] ∈ R^{I_k×R}; the Result takes ownership.
+func (r *Result) SetFactoredQ(a, z, p []*mat.Dense) {
+	if len(a) != len(z) || len(a) != len(p) {
+		panic("parafac2: SetFactoredQ with mismatched slice counts")
+	}
+	r.fq = &factoredQ{a: a, z: z, p: p}
+	r.q = nil
+}
+
+// SetQ installs dense Q_k slices (the eager methods and deserialization use
+// it); the Result takes ownership.
+func (r *Result) SetQ(q []*mat.Dense) {
+	r.q = q
+	r.fq = nil
+}
+
+// Uk materializes U_k = Q_k H for slice k.
+func (r *Result) Uk(k int) *mat.Dense { return r.Qk(k).Mul(r.H) }
+
+// UkRows materializes only rows [lo, hi) of U_k = Q_k H. On a factored
+// result this costs O((hi−lo)·R² + R³) instead of the O(I_k·R²) of a full Uk
+// — the path for window queries (e.g. aligning stocks on a trailing window).
+func (r *Result) UkRows(k, lo, hi int) *mat.Dense {
+	if r.Factored() {
+		arena := compute.Shared()
+		out := mat.New(hi-lo, r.H.Cols)
+		r.fq.mulInto(out, k, lo, hi, r.H, arena)
+		return out
+	}
+	return r.q[k].RowView(lo, hi).Mul(r.H)
+}
+
+// ReconstructSlice returns X̂_k = Q_k H S_k Vᵀ. Factored results fold H S_k
+// through the small factors (no dense Q_k is materialized), which matches
+// the eager reconstruction to round-off rather than bitwise.
 func (r *Result) ReconstructSlice(k int) *mat.Dense {
-	return r.Q[k].Mul(r.H.ScaleColumns(r.S[k])).MulT(r.V)
+	hs := r.H.ScaleColumns(r.S[k])
+	if r.Factored() {
+		arena := compute.Shared()
+		rows := r.SliceRows(k)
+		qh := arena.GetUninit(rows, hs.Cols)
+		r.fq.mulInto(qh, k, 0, rows, hs, arena)
+		out := qh.MulT(r.V)
+		arena.Put(qh)
+		return out
+	}
+	return r.q[k].Mul(hs).MulT(r.V)
 }
 
 // Fitness computes 1 − Σ_k‖X_k − X̂_k‖_F² / Σ_k‖X_k‖_F² of a factorization
@@ -203,14 +411,46 @@ func FitnessWith(t *tensor.Irregular, r *Result, pool *compute.Pool) float64 {
 // fitnessWith evaluates the fitness with slice reconstructions parallelized
 // over pool and materialized in arena scratch (see reconstructionError2).
 // Per-slice errors are reduced in slice order, so the result is
-// deterministic for any pool width.
+// deterministic for any pool width. Factored results reconstruct through the
+// small factors (factoredError2) without ever materializing a dense Q_k.
 func fitnessWith(t *tensor.Irregular, r *Result, pool *compute.Pool) float64 {
-	errSum := reconstructionError2(t, r.Q, r.H, r.V, r.S, pool)
+	var errSum float64
+	if r.Factored() {
+		errSum = factoredError2(t, r.fq, r.H, r.V, r.S, pool)
+	} else {
+		errSum = reconstructionError2(t, r.q, r.H, r.V, r.S, pool)
+	}
 	n := t.Norm2()
 	if n == 0 {
 		return 1
 	}
 	return 1 - errSum/n
+}
+
+// factoredError2 is reconstructionError2 for factored results: per slice,
+// Q_k (H S_k) is folded right-to-left (A_k · (Z_k (P_kᵀ (H S_k)))), so the
+// only I_k-sized intermediates are the Q_k H S_k product and the
+// reconstruction itself — both arena scratch. Reduced in slice order.
+func factoredError2(t *tensor.Irregular, fq *factoredQ, h, v *mat.Dense, s [][]float64, pool *compute.Pool) float64 {
+	arena := compute.Shared()
+	errs := make([]float64, t.K())
+	pool.ParallelFor(t.K(), func(kk int) {
+		xk := t.Slices[kk]
+		hs := arena.GetUninit(h.Rows, h.Cols)
+		h.ScaleColumnsInto(hs, s[kk])
+		qh := arena.GetUninit(xk.Rows, hs.Cols)
+		fq.mulInto(qh, kk, 0, xk.Rows, hs, arena)
+		rec := arena.GetUninit(xk.Rows, xk.Cols)
+		qh.MulTInto(rec, v, nil)
+		d := xk.FrobDist(rec)
+		errs[kk] = d * d
+		arena.Put(hs, qh, rec)
+	})
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	return sum
 }
 
 // initCommon draws the shared-factor initialization used by all methods:
@@ -221,14 +461,32 @@ func initCommon(g *rng.RNG, j, k, r int) (h, v *mat.Dense, s [][]float64) {
 	noise := mat.Gaussian(g, r, r).Scale(0.1)
 	h.AddInPlace(noise)
 	v = mat.Gaussian(g, j, r)
+	// One backing slab for all K diagonals keeps the allocation count
+	// independent of K (the streaming refresh allocates this per Absorb).
 	s = make([][]float64, k)
+	flat := make([]float64, k*r)
+	for i := range flat {
+		flat[i] = 1
+	}
 	for kk := range s {
-		s[kk] = make([]float64, r)
-		for rr := range s[kk] {
-			s[kk][rr] = 1
-		}
+		s[kk] = flat[kk*r : (kk+1)*r : (kk+1)*r]
 	}
 	return h, v, s
+}
+
+// newRRBlocks allocates k R×R matrices on one backing slab (three allocations
+// total, independent of k) — the per-slice Z_k/P_k/T_k working state of the
+// DPar2 iteration, where a per-matrix allocation would make the streaming
+// absorb cost grow with the slices already seen.
+func newRRBlocks(k, r int) []*mat.Dense {
+	hdrs := make([]mat.Dense, k)
+	ptrs := make([]*mat.Dense, k)
+	slab := make([]float64, k*r*r)
+	for i := 0; i < k; i++ {
+		hdrs[i] = mat.Dense{Rows: r, Cols: r, Data: slab[i*r*r : (i+1)*r*r : (i+1)*r*r]}
+		ptrs[i] = &hdrs[i]
+	}
+	return ptrs
 }
 
 // wMatrix packs the S_k diagonals into the K×R matrix W of Algorithm 2.

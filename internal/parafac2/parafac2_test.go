@@ -124,8 +124,8 @@ func TestDPar2QOrthonormal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range res.Q {
-		if !q.IsOrthonormalCols(1e-8) {
+	for k := 0; k < res.K(); k++ {
+		if !res.Qk(k).IsOrthonormalCols(1e-8) {
 			t.Fatalf("Q_%d not column-orthonormal", k)
 		}
 	}
@@ -138,8 +138,8 @@ func TestALSQOrthonormal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range res.Q {
-		if !q.IsOrthonormalCols(1e-8) {
+	for k := 0; k < res.K(); k++ {
+		if !res.Qk(k).IsOrthonormalCols(1e-8) {
 			t.Fatalf("Q_%d not column-orthonormal", k)
 		}
 	}
@@ -297,7 +297,7 @@ func TestConvergenceIdentityAgainstSliceApprox(t *testing.T) {
 	for k := range tf {
 		// T_k = Q_k-factored form: recover P_kZ_kᵀF⁽ᵏ⁾ = (A_kᵀ Q_k)ᵀ F⁽ᵏ⁾… we
 		// instead use Q_k and A_k: T_k = (A_kᵀ Q_k)ᵀ F⁽ᵏ⁾ = Q_kᵀA_k F⁽ᵏ⁾.
-		tf[k] = res.Q[k].TMul(comp.A[k]).Mul(comp.F[k])
+		tf[k] = res.Qk(k).TMul(comp.A[k]).Mul(comp.F[k])
 	}
 	dtv := comp.D.TMul(res.V)
 	got := CompressedErrorGram2(tf, comp.E, dtv, res.V, res.H, res.S)
@@ -336,7 +336,7 @@ func TestResultHelpers(t *testing.T) {
 	if u0.Rows != 25 || u0.Cols != 2 {
 		t.Fatalf("Uk shape %dx%d", u0.Rows, u0.Cols)
 	}
-	want := res.Q[0].Mul(res.H)
+	want := res.Qk(0).Mul(res.H)
 	if !u0.EqualApprox(want, 1e-12) {
 		t.Fatal("Uk != Q_k H")
 	}

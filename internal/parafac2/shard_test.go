@@ -70,8 +70,8 @@ func TestShardedCompressKeepsAkOrthonormal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range res.Q {
-		if !q.IsOrthonormalCols(1e-7) {
+	for k := 0; k < res.K(); k++ {
+		if !res.Qk(k).IsOrthonormalCols(1e-7) {
 			t.Fatalf("Q_%d not orthonormal", k)
 		}
 	}

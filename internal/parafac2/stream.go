@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/compute"
 	"repro/internal/mat"
 	"repro/internal/rng"
 	"repro/internal/rsvd"
@@ -35,8 +36,18 @@ func (c *Compressed) Append(g *rng.RNG, newSlices []*mat.Dense, cfg Config) erro
 
 // AppendCtx is Append with cancellation: the context is checked between the
 // per-slice sketches and before the incremental stage-2 factorization. On
-// cancellation the compressed representation is left unmodified and the
-// unwrapped ctx.Err() is returned.
+// cancellation the compressed representation AND the caller's generator are
+// left unmodified and the unwrapped ctx.Err() is returned, so retrying the
+// same batch reproduces an uninterrupted run bit for bit.
+//
+// All of Append's randomness (the per-slice stage-1 generators and the
+// stage-2 sketch) is drawn from a single child generator derived from a
+// clone of g; g itself advances — by exactly the one Split an uninterrupted
+// run observes — only once the batch is past every cancellation point.
+// Before this, a cancelled append had already consumed n stage-1 Splits
+// (plus any stage-2 draws) from g, so a retried batch sketched with
+// different randomness and a retried stream diverged from an uninterrupted
+// one.
 func (c *Compressed) AppendCtx(ctx context.Context, g *rng.RNG, newSlices []*mat.Dense, cfg Config) error {
 	if len(newSlices) == 0 {
 		return nil
@@ -62,33 +73,59 @@ func (c *Compressed) AppendCtx(ctx context.Context, g *rng.RNG, newSlices []*mat
 	opts := rsvd.Options{Oversample: cfg.Oversample, PowerIters: cfg.PowerIters}
 	pool, done := cfg.runtimePool()
 	defer done()
+	arena := compute.Shared()
+
+	// Speculative RNG: parent is what g becomes on commit, child feeds
+	// every draw below. Until the commit near the end of this function, g
+	// is never touched.
+	parent := g.Clone()
+	child := parent.Split()
 
 	// Stage 1 on the new slices only, load-balanced (over shards of tall
 	// slices, whole slices otherwise) as in Compress.
 	n := len(newSlices)
 	gens := make([]*rng.RNG, n)
 	for i := range gens {
-		gens[i] = g.Split()
+		gens[i] = child.Split()
 	}
 	newA, newCB := stage1Sketches(ctx, newSlices, gens, cfg, pool)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
-	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR). One big
-	// factorization, so its kernels run on the pool (as in Compress).
-	parts := make([]*mat.Dense, 0, n+1)
-	parts = append(parts, c.D.ScaleColumns(c.E))
-	parts = append(parts, newCB...)
-	gmat := mat.HConcat(parts...)
+	// Incremental stage 2: G = [D·E ‖ N], J × (R + nR), assembled in arena
+	// scratch (the per-part ScaleColumns/HConcat copies used to be fresh
+	// heap allocations every batch). One big factorization, so its kernels
+	// run on the pool (as in Compress).
+	gmat := arena.GetUninit(c.J, (n+1)*r)
+	for i := 0; i < c.J; i++ {
+		row := gmat.Row(i)
+		drow := c.D.Row(i)
+		for j := 0; j < r; j++ {
+			row[j] = drow[j] * c.E[j]
+		}
+		for b, cb := range newCB {
+			copy(row[r+b*r:r+(b+1)*r], cb.Row(i))
+		}
+	}
 	opts.Runner = pool
-	d2 := rsvd.Decompose(g, gmat, r, opts)
+	d2 := rsvd.Decompose(child, gmat, r, opts)
+	arena.Put(gmat)
+
+	// Past every cancellation point: commit the parent advance, then
+	// mutate the compressed representation.
+	*g = *parent
 
 	w1 := d2.V.RowBlock(0, r) // R × R: how the old basis rotates
-	// Rewrite old F blocks in the new basis.
-	for k, f := range c.F {
-		c.F[k] = f.Mul(w1)
+	// Rewrite old F blocks in the new basis, in place through one recycled
+	// scratch block — the rotation is O(K·R²) flops but O(1) allocations
+	// (it used to allocate K fresh matrices per batch).
+	tmp := arena.GetUninit(r, r)
+	for _, f := range c.F {
+		f.MulInto(tmp, w1, nil)
+		f.CopyFrom(tmp)
 	}
+	arena.Put(tmp)
 	// New F blocks come straight from W₂.
 	for i := 0; i < n; i++ {
 		c.F = append(c.F, d2.V.RowBlock(r+i*r, r+(i+1)*r))
@@ -168,11 +205,19 @@ func (s *StreamingDPar2) Absorb(newSlices []*mat.Dense) error {
 // iterations instead of the full cfg.MaxIters a cold start would need.
 //
 // Error semantics: an error from the append phase (wrapping nothing, e.g. a
-// plain ctx.Err()) means the batch was NOT absorbed — the stream is
-// unchanged and the same batch may be retried. An error from the refresh
-// phase is wrapped with "batch absorbed" context: the slices ARE part of the
-// stream (K reflects them) but Result is stale; call Refresh to re-derive
-// the factors. Re-absorbing the batch in that state would duplicate it.
+// plain ctx.Err()) means the batch was NOT absorbed — the stream, including
+// its RNG state, is unchanged, and retrying the same batch produces a stream
+// bit-identical to one that was never interrupted (see AppendCtx). An error
+// from the refresh phase is wrapped with "batch absorbed" context: the
+// slices ARE part of the stream (K reflects them) but Result is stale; call
+// Refresh to re-derive the factors. Re-absorbing the batch in that state
+// would duplicate it.
+//
+// Cost: stage-1 sketches of the new slices, the R-sized stage-2 update, the
+// O(K·R²) in-place F rotation, and RefreshIters compressed-space ALS
+// iterations. No per-old-slice O(I_k) work happens anywhere on this path —
+// the factors stay in lazy factored form (see Result) — so absorb latency
+// and allocations are independent of the slices already absorbed.
 func (s *StreamingDPar2) AbsorbCtx(ctx context.Context, newSlices []*mat.Dense) error {
 	if len(newSlices) == 0 {
 		// Append would no-op, but the refresh below would still burn
@@ -219,6 +264,28 @@ func (s *StreamingDPar2) refreshIters() int {
 		n = s.cfg.MaxIters
 	}
 	return n
+}
+
+// Clone forks the stream: the copy absorbs and refreshes independently of
+// the original. The compressed A_k bases are shared (immutable once built);
+// everything Append mutates in place (the F blocks, D, E, the RNG state, and
+// the result pointer) is copied, so the fork costs O(K·R² + J·R) — cheap
+// enough to branch a stream per what-if batch, and what lets BenchmarkAbsorb
+// replay the same absorb at a fixed K.
+func (s *StreamingDPar2) Clone() *StreamingDPar2 {
+	var res *Result
+	if s.result != nil {
+		cp := *s.result
+		res = &cp
+	}
+	return &StreamingDPar2{
+		cfg:          s.cfg,
+		g:            s.g.Clone(),
+		comp:         s.comp.Clone(),
+		result:       res,
+		absorbed:     s.absorbed,
+		RefreshIters: s.RefreshIters,
+	}
 }
 
 // Result returns the current factorization (covering every absorbed slice).

@@ -3,7 +3,9 @@ package parafac2
 import (
 	"context"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -122,8 +124,8 @@ func TestStreamingDPar2TracksBatches(t *testing.T) {
 	if fit < 0.95 {
 		t.Fatalf("streaming fitness %v over all 8 slices", fit)
 	}
-	if len(s.Result().Q) != 8 {
-		t.Fatalf("result covers %d slices", len(s.Result().Q))
+	if s.Result().K() != 8 {
+		t.Fatalf("result covers %d slices", s.Result().K())
 	}
 }
 
@@ -182,8 +184,8 @@ func TestAbsorbWarmStartBoundsIterations(t *testing.T) {
 	if got := s.Result().Iters; got > 2 {
 		t.Fatalf("warm absorb ran %d iterations, bound is 2", got)
 	}
-	if len(s.Result().Q) != 8 {
-		t.Fatalf("result covers %d slices, want 8", len(s.Result().Q))
+	if s.Result().K() != 8 {
+		t.Fatalf("result covers %d slices, want 8", s.Result().K())
 	}
 	if fit := Fitness(full, s.Result()); fit < 0.95 {
 		t.Fatalf("warm-started streaming fitness %v over all slices", fit)
@@ -237,5 +239,186 @@ func TestCompressedFitnessEstimatePopulated(t *testing.T) {
 	}
 	if res.Fitness < 0.99 {
 		t.Fatalf("fitness estimate %v on exact data", res.Fitness)
+	}
+}
+
+// errAfterCtx is a context whose Err starts failing after a fixed number of
+// checks — a deterministic way to cancel AppendCtx at a chosen internal
+// checkpoint (with a serial config the Err call sequence is fixed).
+type errAfterCtx struct {
+	calls     int32
+	failAfter int32
+}
+
+func (c *errAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *errAfterCtx) Done() <-chan struct{}       { return nil }
+func (c *errAfterCtx) Value(any) any               { return nil }
+func (c *errAfterCtx) Err() error {
+	if atomic.AddInt32(&c.calls, 1) > c.failAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// compressedEqualBits asserts two compressed representations are
+// bit-identical (the retry contract is bit-level, not approximate).
+func compressedEqualBits(t *testing.T, a, b *Compressed) {
+	t.Helper()
+	if len(a.A) != len(b.A) || len(a.F) != len(b.F) || len(a.E) != len(b.E) {
+		t.Fatalf("shape mismatch: %d/%d A, %d/%d F, %d/%d E",
+			len(a.A), len(b.A), len(a.F), len(b.F), len(a.E), len(b.E))
+	}
+	if !a.D.EqualApprox(b.D, 0) {
+		t.Fatal("D not bit-identical")
+	}
+	for i := range a.E {
+		if a.E[i] != b.E[i] {
+			t.Fatalf("E[%d] not bit-identical", i)
+		}
+	}
+	for k := range a.A {
+		if !a.A[k].EqualApprox(b.A[k], 0) {
+			t.Fatalf("A_%d not bit-identical", k)
+		}
+		if !a.F[k].EqualApprox(b.F[k], 0) {
+			t.Fatalf("F_%d not bit-identical", k)
+		}
+	}
+}
+
+// TestAppendRetryBitReproducible: a cancelled AppendCtx must leave the
+// caller's generator untouched, so cancel → retry reproduces an
+// uninterrupted stream bit for bit. Before the fix, Append consumed n
+// stage-1 Splits (plus the stage-2 draws) from the parent generator before
+// the cancellation checkpoints, so a retried batch sketched with different
+// randomness.
+func TestAppendRetryBitReproducible(t *testing.T) {
+	g := rng.New(71)
+	full := synthPARAFAC2(g, []int{40, 50, 45, 55, 38, 42}, 16, 3, 0.02)
+	cfg := smallConfig(3)
+	cfg.Threads = 1 // deterministic ctx.Err() call sequence
+	initial := tensor.MustIrregular(full.Slices[:2])
+	batch1, batch2 := full.Slices[2:4], full.Slices[4:6]
+
+	// Uninterrupted reference run.
+	ref := Compress(initial, cfg)
+	gRef := rng.New(7)
+	if err := ref.Append(gRef, batch1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Append(gRef, batch2, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancellation fires at the post-sketch checkpoint
+	// (Err call 1 = entry, calls 2-3 = the two stage-1 units, call 4 =
+	// after the sketches), i.e. after all of stage 1 already drew
+	// randomness from the child generator.
+	got := Compress(initial, cfg)
+	gGot := rng.New(7)
+	flaky := &errAfterCtx{failAfter: 3}
+	err := got.AppendCtx(flaky, gGot, batch1, cfg)
+	if err == nil {
+		t.Fatal("expected cancellation error from mid-append cancel")
+	}
+	if len(got.A) != 2 || len(got.F) != 2 {
+		t.Fatal("cancelled append mutated the compressed representation")
+	}
+	// Retry the same batch, then continue the stream.
+	if err := got.Append(gGot, batch1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Append(gGot, batch2, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	compressedEqualBits(t, ref, got)
+}
+
+// TestAppendAllocsBoundedInK: the old-F basis rotation runs in place through
+// recycled arena scratch, so per-batch allocations must not grow with the
+// number of slices already absorbed (it used to allocate K fresh matrices
+// plus the ScaleColumns/HConcat copies every batch).
+func TestAppendAllocsBoundedInK(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.Threads = 0 // serial: allocation counts are exact
+
+	measure := func(k int) float64 {
+		g := rng.New(uint64(80 + k))
+		rows := make([]int, k)
+		for i := range rows {
+			rows[i] = 25 + 5*(i%4)
+		}
+		base := Compress(synthPARAFAC2(g, rows, 12, 3, 0.02), cfg)
+		batch := synthPARAFAC2(g, []int{30, 35}, 12, 3, 0.02).Slices
+
+		const runs = 8
+		comps := make([]*Compressed, runs+1) // AllocsPerRun calls f runs+1 times
+		for i := range comps {
+			comps[i] = base.Clone()
+		}
+		idx := 0
+		return testing.AllocsPerRun(runs, func() {
+			c := comps[idx]
+			idx++
+			if err := c.Append(rng.New(9), batch, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	a8 := measure(8)
+	a64 := measure(64)
+	// Identical batch work; the only K-dependent allocations left are the
+	// amortized growth of the A/F pointer slices. Allow modest slack for
+	// arena/sync.Pool jitter.
+	if a64 > a8*1.3+16 {
+		t.Fatalf("Append allocations grew with K: %d slices -> %.0f allocs, %d slices -> %.0f allocs",
+			8, a8, 64, a64)
+	}
+}
+
+// TestStreamCloneIsIndependent: a cloned stream replays the same absorb with
+// identical results, and absorbing into the clone leaves the original
+// untouched (the A_k bases are shared, everything mutable is copied).
+func TestStreamCloneIsIndependent(t *testing.T) {
+	g := rng.New(73)
+	full := synthPARAFAC2(g, []int{40, 48, 36, 52, 44, 41}, 14, 3, 0.02)
+	cfg := smallConfig(3)
+	cfg.MaxIters = 30
+
+	st, err := NewStreamingDPar2(tensor.MustIrregular(full.Slices[:4]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := st.Clone()
+
+	// Same batch into both: bit-identical outcomes (same RNG state).
+	if err := st.Absorb(full.Slices[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Absorb(full.Slices[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	compressedEqualBits(t, st.Compressed(), fork.Compressed())
+	if !st.Result().H.EqualApprox(fork.Result().H, 0) || !st.Result().V.EqualApprox(fork.Result().V, 0) {
+		t.Fatal("clone refresh diverged from original")
+	}
+	for k := 0; k < st.Result().K(); k++ {
+		if !st.Result().Qk(k).EqualApprox(fork.Result().Qk(k), 0) {
+			t.Fatalf("clone Qk(%d) diverged", k)
+		}
+	}
+
+	// A further absorb into the fork must not touch the original.
+	before := st.Compressed().D.Clone()
+	if err := fork.Absorb(full.Slices[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if st.K() != 6 || fork.K() != 8 {
+		t.Fatalf("K: original %d (want 6), fork %d (want 8)", st.K(), fork.K())
+	}
+	if !st.Compressed().D.EqualApprox(before, 0) {
+		t.Fatal("absorbing into the fork mutated the original stream")
 	}
 }

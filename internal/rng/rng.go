@@ -45,6 +45,15 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
 }
 
+// Clone returns a copy of the generator: identical state, advancing
+// independently of r from here on. Speculative consumers draw from a clone
+// and copy it back over the original only on commit, so an aborted operation
+// leaves the original stream untouched (the streaming Append retry contract).
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -80,6 +80,41 @@
 // per in-flight shard, inside the workspace arena's recyclable range.
 // WithShardRows(-1) disables sharding (the pre-sharding behavior).
 //
+// # Lazy factored Q and fitness kinds
+//
+// DPar2 results hold Q in factored form (Q_k = A_k Z_k P_kᵀ, with A_k the
+// compressed basis and Z_k, P_k tiny R×R matrices): the dense I_k×R slices
+// are materialized lazily by Result.Qk, Uk, UkRows, and ReconstructSlice, and
+// never by the solver itself. Call Result.Materialize once to cache every
+// dense slice when repeated access is coming (the pre-lazy behavior);
+// serialization (internal/dataio) round-trips the factored form without
+// materializing.
+//
+// Result.FitnessKind says what Result.Fitness was measured against:
+// FitnessTrue is the fitness against the input tensor (Engine.Decompose and
+// the package Fitness helpers always produce this kind), FitnessCompressed
+// is the compressed-space estimate that Engine.DecomposeCompressed and
+// streaming refreshes report — exact against the compressed approximation,
+// off from the true value only by the one-time compression error. Re-evaluate
+// with Engine.Fitness (or Fitness) when the true value is needed.
+//
+// # Streaming absorbs
+//
+// Lazy Q is what makes streaming absorbs independent of the history: an
+// Absorb touches the new slices' sketches, an R-sized stage-2 update, an
+// O(K·R²) in-place basis rotation, and a few compressed-space refresh
+// iterations — no O(I_k) work on any previously absorbed slice, and per-batch
+// allocations that do not grow with K (BenchmarkAbsorb guards both in CI).
+//
+// Absorb's retry contract: an error from the append phase means the batch was
+// NOT absorbed — the stream, including its RNG state, is unchanged, and
+// retrying the same batch yields a stream bit-identical to one that was never
+// interrupted. An error from the refresh phase (wrapped with "batch
+// absorbed") means the slices ARE in the stream but the factors are stale:
+// call StreamingDPar2.Refresh; re-absorbing would duplicate the batch.
+// StreamingDPar2.Clone forks a stream cheaply (shared immutable bases,
+// copied mutable state) for what-if batches.
+//
 // # Migration from the free functions
 //
 // The per-method free functions (DPar2, ALS, RDALS, SPARTan,
@@ -139,8 +174,22 @@ type Irregular = tensor.Irregular
 type Config = parafac2.Config
 
 // Result is the output of a PARAFAC2 decomposition: factors H, V, S_k, Q_k
-// plus fitness, iteration count, and a timing/footprint breakdown.
+// plus fitness, iteration count, and a timing/footprint breakdown. DPar2
+// results keep Q_k in lazy factored form — see the package-doc section on
+// lazy factored Q, and Result.Qk/Uk/UkRows/Materialize.
 type Result = parafac2.Result
+
+// FitnessKind tags what Result.Fitness was measured against (see the
+// package doc): the input tensor (FitnessTrue) or the compressed
+// approximation (FitnessCompressed).
+type FitnessKind = parafac2.FitnessKind
+
+// Fitness kinds, re-exported from internal/parafac2.
+const (
+	FitnessUnset      = parafac2.FitnessUnset
+	FitnessTrue       = parafac2.FitnessTrue
+	FitnessCompressed = parafac2.FitnessCompressed
+)
 
 // Compressed is the two-stage randomized-SVD compression of an irregular
 // tensor that DPar2 iterates on.
@@ -224,7 +273,10 @@ func RDALS(t *Irregular, cfg Config) (*Result, error) { return parafac2.RDALS(t,
 // wrapper remains for one release.
 func SPARTan(t *Irregular, cfg Config) (*Result, error) { return parafac2.SPARTan(t, cfg) }
 
-// Fitness evaluates 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² of a result against a tensor.
+// Fitness evaluates 1 − Σ‖X_k−X̂_k‖²/Σ‖X_k‖² of a result against a tensor —
+// always the FitnessTrue quantity, whatever kind Result.Fitness carries.
+// Factored results are evaluated through their small factors without
+// materializing any dense Q_k.
 func Fitness(t *Irregular, r *Result) float64 { return parafac2.Fitness(t, r) }
 
 // SliceResiduals returns ‖X_k − X̂_k‖/‖X_k‖ per slice — elevated residuals

@@ -1,19 +1,26 @@
 #!/usr/bin/env sh
 # Benchmark smoke guard: runs the perf-trajectory benchmarks
 # (BenchmarkDPar2 end-to-end, BenchmarkDPar2IterationAllocs for the
-# allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path)
-# and fails when allocations per ALS iteration regress above the budget on
-# either iteration bench. BENCH_1.json recorded ~104 allocs/iter after the
-# PR-1 arena work; the guard allows headroom to ~150 before failing.
+# allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path,
+# BenchmarkAbsorb for the streaming absorb path) and fails when
+#   - allocations per ALS iteration regress above the per-iteration budget
+#     on either iteration bench (BENCH_1.json recorded ~104 allocs/iter
+#     after the PR-1 arena work; the guard allows headroom to ~150), or
+#   - allocations per absorbed batch regress above the absorb budget on
+#     either BenchmarkAbsorb variant (~950 measured when the lazy factored-Q
+#     absorb landed; the budget allows headroom to 1500 — and because the
+#     K=8 and K=64 variants absorb the identical batch, a K-dependent
+#     allocation leak trips the same budget long before it ships).
 #
-# Usage: scripts/benchsmoke.sh [max-allocs-per-iter]
+# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb]
 set -eu
 
 budget="${1:-150}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice)$' -benchtime 2x -benchmem .)"
+absorb_budget="${2:-1500}"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb)$' -benchtime 2x -benchmem .)"
 echo "$out"
 
-echo "$out" | awk -v budget="$budget" '
+echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" '
 /^BenchmarkDPar2(IterationAllocs|TallSlice)/ {
     iters = 0; allocs = -1
     for (i = 1; i <= NF; i++) {
@@ -32,9 +39,29 @@ echo "$out" | awk -v budget="$budget" '
         bad = 1
     }
 }
+/^BenchmarkAbsorb\// {
+    allocs = -1
+    for (i = 1; i <= NF; i++) {
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (allocs < 0) {
+        printf "benchsmoke: could not parse allocs from %s\n", $1 > "/dev/stderr"
+        exit 2
+    }
+    printf "benchsmoke: %s %.0f allocs per absorbed batch (budget %d)\n", $1, allocs, absorb_budget
+    absorbs++
+    if (allocs > absorb_budget) {
+        printf "benchsmoke: FAIL — %s regressed above %d allocs per absorbed batch\n", $1, absorb_budget > "/dev/stderr"
+        bad = 1
+    }
+}
 END {
     if (found < 2) {
         print "benchsmoke: expected both BenchmarkDPar2IterationAllocs and BenchmarkDPar2TallSlice to run" > "/dev/stderr"
+        exit 2
+    }
+    if (absorbs < 2) {
+        print "benchsmoke: expected both BenchmarkAbsorb variants (K8, K64) to run" > "/dev/stderr"
         exit 2
     }
     if (bad) exit 1

@@ -13,8 +13,10 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/lapack"
@@ -150,6 +152,73 @@ func BenchmarkAbsorb(b *testing.B) {
 			b.ReportMetric(float64(batchSlices), "batch-slices")
 		})
 	}
+}
+
+// BenchmarkEngineContendedQueue guards the admission scheduler on a
+// saturated single-worker queue with two priority classes. Each iteration
+// replays the same contention scenario: a gate job occupies the only worker
+// while a low-priority backlog and then a burst of high-priority jobs are
+// queued, so the scheduler must pop every "hi" job before any queued "lo"
+// job. The per-class mean queue waits are reported as hi-qwait-ms /
+// lo-qwait-ms; scripts/benchsmoke.sh budgets hi-qwait-ms and fails on
+// priority inversion (hi-qwait-ms > lo-qwait-ms) or on a missing metric —
+// a renamed benchmark or an empty result is a hard failure, not a vacuous
+// pass.
+func BenchmarkEngineContendedQueue(b *testing.B) {
+	const perClass = 8
+	g := rng.New(30)
+	ten := datagen.LowRank(g, []int{40, 50, 45}, 20, 3, 0.02)
+	base := parafac2.DefaultConfig()
+	base.Rank = 3
+	base.MaxIters = 3
+	base.Tol = 0
+	stats := &admission.Stats{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(WithEngineThreads(1), WithBaseConfig(base),
+			WithJobConcurrency(1), WithQueueDepth(4*perClass),
+			WithEngineMetrics(stats))
+		running := make(chan struct{})
+		release := make(chan struct{})
+		var once sync.Once
+		gate := eng.Submit(context.Background(), Job{
+			Tensor: ten, Tag: "gate", Tenant: "gate",
+			Options: []Option{WithProgress(func(int, float64) bool {
+				once.Do(func() { close(running) })
+				<-release
+				return true
+			})},
+		})
+		<-running
+		pending := make([]<-chan JobResult, 0, 2*perClass)
+		for j := 0; j < perClass; j++ {
+			pending = append(pending, eng.Submit(context.Background(), Job{
+				Tensor: ten, Tenant: "lo", Priority: 0,
+				Options: []Option{WithSeed(uint64(j))},
+			}))
+		}
+		for j := 0; j < perClass; j++ {
+			pending = append(pending, eng.Submit(context.Background(), Job{
+				Tensor: ten, Tenant: "hi", Priority: 10,
+				Options: []Option{WithSeed(uint64(j))},
+			}))
+		}
+		close(release)
+		if jr := <-gate; jr.Err != nil {
+			b.Fatal(jr.Err)
+		}
+		for _, ch := range pending {
+			if jr := <-ch; jr.Err != nil {
+				b.Fatal(jr.Err)
+			}
+		}
+		eng.Close()
+	}
+	b.StopTimer()
+	hi, lo := stats.Tenant("hi"), stats.Tenant("lo")
+	b.ReportMetric(float64(hi.MeanQueueWait().Microseconds())/1e3, "hi-qwait-ms")
+	b.ReportMetric(float64(lo.MeanQueueWait().Microseconds())/1e3, "lo-qwait-ms")
 }
 
 // --- Fig. 1: total running time per method (trade-off) -------------------

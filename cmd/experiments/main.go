@@ -10,16 +10,20 @@
 //	experiments -fig tall            # tall-slice stage-1 sharding comparison
 //	experiments -fig 8|12            # data profile / correlation heatmaps
 //	experiments -table 2|3           # dataset summary / similar stocks
+//	experiments -fleet               # multi-tenant admission-control scenario
 //	experiments -scale test          # tiny versions (CI-friendly)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
+	"repro"
 	"repro/internal/compute"
 	"repro/internal/experiments"
 	"repro/internal/parafac2"
@@ -29,6 +33,7 @@ func main() {
 	var (
 		fig       = flag.String("fig", "", "figure to regenerate: 1, 8, 9, 10, 11a, 11b, 11c, 12, tall")
 		table     = flag.String("table", "", "table to regenerate: 2, 3")
+		fleet     = flag.Bool("fleet", false, "run the multi-tenant admission-control scenario")
 		all       = flag.Bool("all", false, "run every experiment")
 		scale     = flag.String("scale", "bench", "dataset scale: bench | test")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -64,9 +69,13 @@ func main() {
 
 	run := func(name string) bool { return *all || *fig == name || *table == name }
 
-	if !*all && *fig == "" && *table == "" {
+	if !*all && *fig == "" && *table == "" && !*fleet {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *fleet || *all {
+		runFleet(ctx, cfg, pool, sc)
 	}
 
 	var datasets []experiments.Dataset
@@ -178,6 +187,80 @@ func main() {
 			experiments.SectorPrecision(res, res.KNN),
 			experiments.SectorPrecision(res, res.RWR))
 	}
+}
+
+// runFleet is the -fleet scenario: a served-traffic demonstration of the
+// Engine's admission control. Three tenants share one Engine — an
+// "interactive" tenant submitting small high-priority jobs, a "batch" tenant
+// with a low-priority backlog squeezed by a per-tenant override, and a
+// "noisy" tenant bursting past its queued quota (its excess is rejected with
+// ErrQuotaExceeded instead of starving the queue). The metrics hook collects
+// the per-tenant admitted/rejected/completed counters and latencies printed
+// as the served-traffic table.
+func runFleet(ctx context.Context, cfg parafac2.Config, pool *compute.Pool, sc experiments.Scale) {
+	fmt.Fprintln(os.Stderr, "running multi-tenant fleet scenario...")
+	stats := &repro.EngineStats{}
+	eng := repro.NewEngine(
+		repro.WithEnginePool(pool), // shared with the other experiments; Close leaves it open
+		repro.WithBaseConfig(cfg),
+		repro.WithJobConcurrency(2),
+		repro.WithQueueDepth(16),
+		repro.WithTenantQuota(8, 2),
+		repro.WithTenantQuotaOverrides(map[string]repro.TenantQuota{
+			"batch": {MaxQueued: 4, MaxRunning: 1},
+			"noisy": {MaxQueued: 2, MaxRunning: 1},
+		}),
+		repro.WithEngineMetrics(stats),
+	)
+	defer eng.Close()
+
+	interactive, batch, noisyBurst := 8, 4, 12
+	size := 100
+	if sc == experiments.ScaleTest {
+		interactive, batch, noisyBurst = 4, 2, 6
+		size = 40
+	}
+	var pending []<-chan repro.JobResult
+	submit := func(tenant string, priority, n, rows int, iters int) {
+		for i := 0; i < n; i++ {
+			g := repro.NewRNG(uint64(1000 + len(pending)))
+			pending = append(pending, eng.Submit(ctx, repro.Job{
+				Tensor:   repro.RandomTensor(g, rows, 40, 12),
+				Tag:      fmt.Sprintf("%s-%02d", tenant, i),
+				Tenant:   tenant,
+				Priority: priority,
+				Options: []repro.Option{
+					repro.WithRank(5), repro.WithMaxIters(iters),
+					repro.WithSeed(uint64(i)),
+				},
+			}))
+		}
+	}
+	start := time.Now()
+	submit("batch", 0, batch, 3*size, 12)           // pre-queued low-priority backlog
+	submit("interactive", 10, interactive, size, 6) // jumps the backlog
+	submit("noisy", 0, noisyBurst, size, 6)         // bursts past its MaxQueued 2 override
+
+	var rejected int
+	for _, ch := range pending {
+		jr := <-ch
+		switch {
+		case jr.Err == nil:
+		case errors.Is(jr.Err, repro.ErrQuotaExceeded):
+			rejected++
+		case errors.Is(jr.Err, context.Canceled):
+		default:
+			fail(fmt.Errorf("fleet job %s: %w", jr.Tag, jr.Err))
+		}
+	}
+	wall := time.Since(start).Round(time.Millisecond)
+
+	fmt.Println("== Fleet: served traffic under admission control ==")
+	fmt.Print(stats.String())
+	it, bt := stats.Tenant("interactive"), stats.Tenant("batch")
+	fmt.Printf("priority effect: interactive mean wait %v vs batch %v; %d noisy submits rejected; wall %v\n\n",
+		it.MeanQueueWait().Round(time.Microsecond), bt.MeanQueueWait().Round(time.Microsecond),
+		rejected, wall)
 }
 
 func medianRowsIndex(d experiments.Dataset) int {

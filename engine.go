@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/compute"
 	"repro/internal/parafac2"
 )
@@ -14,11 +15,40 @@ import (
 // Engine method called after Close.
 var ErrEngineClosed = errors.New("repro: engine is closed")
 
+// ErrQuotaExceeded is the sentinel every per-tenant quota rejection matches
+// via errors.Is; the concrete error delivered on the Submit result channel
+// is a *QuotaError carrying the tenant. See WithTenantQuota.
+var ErrQuotaExceeded = admission.ErrQuotaExceeded
+
+// QuotaError is the typed quota rejection: which tenant was over which
+// MaxQueued limit. errors.Is(err, ErrQuotaExceeded) matches it.
+type QuotaError = admission.QuotaError
+
+// TenantQuota bounds one tenant's share of the Submit queue: at most
+// MaxQueued jobs waiting and MaxRunning jobs executing at once. Configure
+// with WithTenantQuota / WithTenantQuotaOverrides.
+type TenantQuota = admission.Quota
+
+// EngineMetrics is the observation hook on the Engine's admission scheduler:
+// queue depth on admit and pop, per-job queue-wait and run latency, and
+// per-tenant admitted/rejected/completed/cancelled events. Register with
+// WithEngineMetrics; EngineStats is a ready-made implementation.
+// Implementations must be safe for concurrent use.
+type EngineMetrics = admission.Metrics
+
+// EngineStats is a ready-made EngineMetrics: per-tenant counters and latency
+// totals with a Snapshot accessor and a printable served-traffic table
+// (String). The zero value is ready to use.
+type EngineStats = admission.Stats
+
+// TenantStats is one tenant's row in an EngineStats snapshot.
+type TenantStats = admission.TenantStats
+
 // Engine is the long-lived entry point for every decomposition in this
 // package: it owns one shared compute pool (workers + warm scratch arenas)
 // and runs any registered algorithm against it, either synchronously
-// (Decompose) or through a bounded job queue (Submit) that lets N tenants
-// share the pool with near-zero steady-state allocation.
+// (Decompose) or through an admission-controlled job queue (Submit) that
+// lets N tenants share the pool without starving each other.
 //
 //	eng := repro.NewEngine() // pool width = DefaultConfig().Threads
 //	defer eng.Close()
@@ -29,32 +59,42 @@ var ErrEngineClosed = errors.New("repro: engine is closed")
 // the parallel phases inside one, so jobs are cancellable and
 // deadline-bounded; on cancellation the unwrapped ctx.Err() comes back.
 // Results are deterministic for a given tensor and options, regardless of
-// pool width or how many jobs run concurrently.
+// pool width, how many jobs run concurrently, or how priorities reorder the
+// queue.
 //
 // An Engine is safe for concurrent use. Close stops the job workers, waits
 // for accepted jobs to finish, and releases the pool (unless it was supplied
 // with WithEnginePool, in which case the caller keeps ownership).
+//
+// Engine construction options validate eagerly: a zero or negative value
+// where a positive one is required (queue depth, job concurrency, quota
+// bounds) panics instead of silently falling back to the default — a
+// caller's accidentally-computed 0 is a bug worth hearing about. Per-call
+// Options, by contrast, return errors from the call they were passed to.
 type Engine struct {
 	pool    *compute.Pool
 	ownPool bool
 	base    Config
 
-	queue chan pendingJob
+	// sched is the admission-controlled job queue: a bounded priority queue
+	// (higher Job.Priority pops first, FIFO within a class) with per-tenant
+	// quotas and the metrics hook. It replaces the plain FIFO channel of the
+	// original Submit path.
+	sched *admission.Queue[pendingJob]
 	wg    sync.WaitGroup
 
-	// mu guards closed; it is held only for instantaneous checks, never
-	// across a blocking queue send (a Submit blocked on a full queue while
-	// holding even the read lock would, via RWMutex writer priority, stall
-	// every other Engine call behind a pending Close). In-flight sends
-	// register with sending instead: Close flips closed (stopping new
-	// registrations), waits for sending to drain, and only then closes the
-	// queue — so no send can race the close.
-	mu      sync.RWMutex
-	closed  bool
-	sending sync.WaitGroup
+	// mu guards closed for the synchronous entry points (Decompose,
+	// Compress, ...). Submit no longer needs it: admission into sched is a
+	// mutex-guarded state change inside the scheduler, not a channel send,
+	// so the old in-flight-sender WaitGroup handshake (which existed only to
+	// keep a blocked queue send from racing close(queue)) is gone — see
+	// Close.
+	mu     sync.RWMutex
+	closed bool
 }
 
-// pendingJob is one queued Submit request.
+// pendingJob is one admitted Submit request, carried as the scheduler
+// ticket's payload.
 type pendingJob struct {
 	ctx context.Context
 	job Job
@@ -69,6 +109,10 @@ type engineSettings struct {
 	base       Config
 	queueDepth int
 	jobWorkers int
+
+	quota     TenantQuota
+	overrides map[string]TenantQuota
+	metrics   EngineMetrics
 }
 
 // EngineOption configures NewEngine.
@@ -99,31 +143,98 @@ func WithBaseConfig(cfg Config) EngineOption {
 }
 
 // WithQueueDepth bounds the Submit queue (default 32). When the queue is
-// full, Submit blocks until a worker frees a slot or the job's context is
-// done — backpressure instead of unbounded buffering.
+// full, in-quota Submits block until a worker frees a slot or the job's
+// context is done — backpressure instead of unbounded buffering. n must be
+// positive; a zero or negative depth panics (it would otherwise silently
+// yield the default).
 func WithQueueDepth(n int) EngineOption {
 	return func(s *engineSettings) {
-		if n > 0 {
-			s.queueDepth = n
+		if n <= 0 {
+			panic(fmt.Sprintf("repro: WithQueueDepth(%d): depth must be positive", n))
 		}
+		s.queueDepth = n
 	}
 }
 
 // WithJobConcurrency sets how many submitted jobs execute at once
 // (default 4). All of them share the one pool: more concurrent jobs raise
 // utilization when single jobs cannot saturate it, at the cost of per-job
-// latency.
+// latency. n must be positive; a zero or negative count panics (it would
+// otherwise silently yield the default).
 func WithJobConcurrency(n int) EngineOption {
 	return func(s *engineSettings) {
-		if n > 0 {
-			s.jobWorkers = n
+		if n <= 0 {
+			panic(fmt.Sprintf("repro: WithJobConcurrency(%d): concurrency must be positive", n))
 		}
+		s.jobWorkers = n
+	}
+}
+
+// WithTenantQuota bounds every tenant's share of the Submit queue: at most
+// maxQueued jobs waiting and maxRunning jobs executing per tenant at once.
+// A Submit that would exceed the tenant's queued quota fails immediately —
+// the result channel delivers a *QuotaError matching ErrQuotaExceeded —
+// without consuming a shared queue slot, so one noisy tenant cannot starve
+// the rest; backpressure (blocking on a full queue) still applies to
+// in-quota jobs. The running bound is enforced by the scheduler: a tenant at
+// maxRunning has its queued jobs skipped (the workers stay busy with other
+// tenants) until one of its jobs completes.
+//
+// Tenants are the Job.Tenant strings; the empty string is a valid tenant
+// (the default bucket). Without this option no quota applies. Both bounds
+// must be positive; zero or negative values panic — to leave a tenant
+// unbounded, give it no quota (or an override large enough to never bind).
+func WithTenantQuota(maxQueued, maxRunning int) EngineOption {
+	return func(s *engineSettings) {
+		if maxQueued <= 0 || maxRunning <= 0 {
+			panic(fmt.Sprintf("repro: WithTenantQuota(%d, %d): quota bounds must be positive",
+				maxQueued, maxRunning))
+		}
+		s.quota = TenantQuota{MaxQueued: maxQueued, MaxRunning: maxRunning}
+	}
+}
+
+// WithTenantQuotaOverrides replaces the WithTenantQuota default for specific
+// tenants (e.g. a larger share for a paying tenant, a tighter one for a
+// batch pipeline). Every override's bounds must be positive; zero or
+// negative values panic, as does a nil map.
+func WithTenantQuotaOverrides(per map[string]TenantQuota) EngineOption {
+	return func(s *engineSettings) {
+		if per == nil {
+			panic("repro: WithTenantQuotaOverrides(nil): override map must be non-nil")
+		}
+		// Copy: the scheduler reads the overrides on every admit/pop, so a
+		// caller later mutating its own map must not race those reads.
+		own := make(map[string]TenantQuota, len(per))
+		for tenant, q := range per {
+			if q.MaxQueued <= 0 || q.MaxRunning <= 0 {
+				panic(fmt.Sprintf("repro: WithTenantQuotaOverrides: tenant %q quota (%d, %d): bounds must be positive",
+					tenant, q.MaxQueued, q.MaxRunning))
+			}
+			own[tenant] = q
+		}
+		s.overrides = own
+	}
+}
+
+// WithEngineMetrics registers the observation hook on the Submit scheduler:
+// queue depth on admit/pop, per-job queue-wait and run latency, per-tenant
+// admitted/rejected/completed/cancelled events. m must be non-nil (omit the
+// option for no observation) and safe for concurrent use; EngineStats is a
+// ready-made implementation.
+func WithEngineMetrics(m EngineMetrics) EngineOption {
+	return func(s *engineSettings) {
+		if m == nil {
+			panic("repro: WithEngineMetrics(nil): metrics hook must be non-nil")
+		}
+		s.metrics = m
 	}
 }
 
 // NewEngine builds an Engine. With no options it owns a pool of width
 // DefaultConfig().Threads (the paper's 6), a base Config of DefaultConfig(),
-// a Submit queue of depth 32, and 4 concurrent job workers.
+// a Submit queue of depth 32, 4 concurrent job workers, no tenant quotas,
+// and no metrics hook.
 func NewEngine(opts ...EngineOption) *Engine {
 	s := engineSettings{
 		base:       DefaultConfig(),
@@ -151,7 +262,12 @@ func NewEngine(opts ...EngineOption) *Engine {
 	e.base.Pool = nil
 	e.base.Threads = 0
 
-	e.queue = make(chan pendingJob, s.queueDepth)
+	e.sched = admission.New[pendingJob](admission.Config{
+		Capacity:     s.queueDepth,
+		DefaultQuota: s.quota,
+		Overrides:    s.overrides,
+		Metrics:      s.metrics,
+	})
 	e.wg.Add(s.jobWorkers)
 	for i := 0; i < s.jobWorkers; i++ {
 		go e.jobWorker()
@@ -161,7 +277,8 @@ func NewEngine(opts ...EngineOption) *Engine {
 
 // Pool exposes the Engine's shared pool (e.g. for repro.Fitness-style
 // helpers or direct Config users during migration). The Engine retains
-// ownership unless the pool came from WithEnginePool.
+// ownership unless the pool came from WithEnginePool; after Close an
+// Engine-owned pool runs submitted work inline on the caller (serial).
 func (e *Engine) Pool() *Pool { return e.pool }
 
 // Close stops accepting work, waits for already-accepted jobs to finish
@@ -173,12 +290,17 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	if first {
-		// No new Submit can register once closed is set; wait out the
-		// in-flight queue sends (the job workers keep draining, so a send
-		// blocked on a full queue completes), then close the queue.
-		e.sending.Wait()
-		close(e.queue)
+		// Closing the scheduler atomically (a) fails every Submit that has
+		// not yet been admitted — including ones blocked on backpressure,
+		// which wake and deliver ErrEngineClosed — and (b) keeps Pop serving
+		// the already-admitted backlog. No handshake with in-flight senders
+		// is needed anymore: admission is a mutex-guarded state change
+		// inside the scheduler, so nothing can race "the queue closing" the
+		// way a blocking channel send could race close(chan).
+		e.sched.Close()
 	}
+	// Each worker exits once Pop reports closed-and-drained, so this wait
+	// observes every accepted job's completion.
 	e.wg.Wait()
 	if first && e.ownPool {
 		e.pool.Close()
@@ -308,7 +430,16 @@ func (e *Engine) NewStream(ctx context.Context, initial *Irregular, opts ...Opti
 // compressed-space estimate a streaming refresh or DecomposeCompressed left
 // in Result.Fitness (Result.FitnessKind distinguishes the two). Factored
 // results are evaluated without materializing any dense Q_k.
+//
+// Fitness stays usable after Close: like stream absorbs on a closed engine,
+// post-Close evaluation runs serially. The isClosed branch below routes the
+// common case to an explicit nil-pool (serial) evaluation; a Close racing
+// the check is also safe, because a closed compute.Pool is documented to run
+// submitted work inline on the caller — serial either way, same value.
 func (e *Engine) Fitness(t *Irregular, r *Result) float64 {
+	if e.isClosed() {
+		return parafac2.FitnessWith(t, r, nil)
+	}
 	return parafac2.FitnessWith(t, r, e.pool)
 }
 
@@ -321,61 +452,79 @@ type Job struct {
 	Tensor  *Irregular
 	Options []Option
 	Tag     string
+
+	// Tenant names the quota bucket this job counts against (see
+	// WithTenantQuota). Tenants are opaque strings; the empty string is a
+	// valid tenant — the default bucket every untagged job shares.
+	Tenant string
+
+	// Priority orders queued jobs: a higher value runs earlier, ties run in
+	// submission order (FIFO within a priority class). The default 0 is a
+	// valid class; negative priorities run after it. Priority reorders only
+	// WHEN a job runs, never what it computes — results are bit-identical
+	// for a fixed tensor and options at any priority and any queue state.
+	Priority int
 }
 
 // JobResult is the outcome of one submitted Job. Exactly one of Result/Err
-// is set (Err may be the job context's error if it was cancelled while
-// queued or mid-run, or ErrEngineClosed if submitted after Close).
+// is set. Err is one of: the job context's error (ctx.Err(), if cancelled
+// while queued or mid-run), ErrEngineClosed (submitted after Close), a
+// *QuotaError matching ErrQuotaExceeded (the tenant was over its queued
+// quota), or the decomposition's own error.
 type JobResult struct {
 	Tag    string
 	Result *Result
 	Err    error
 }
 
-// Submit enqueues a Job on the bounded queue and returns a 1-buffered channel
-// that receives exactly one JobResult — the batched multi-tensor service
-// path: N tenants submit against one Engine, the job workers drain the queue
-// onto the shared pool, and the workspace arena keeps steady-state
-// allocation near zero across jobs.
+// Submit runs a Job through the admission-controlled queue and returns a
+// 1-buffered channel that receives exactly one JobResult — the multi-tenant
+// service path: N tenants submit against one Engine, the job workers drain
+// the queue in (Priority, FIFO) order onto the shared pool, and per-tenant
+// quotas keep any one tenant from starving the rest.
 //
-// Submit blocks only while the queue is full (backpressure); ctx applies to
+// Admission is immediate for over-quota tenants (a *QuotaError matching
+// ErrQuotaExceeded on the channel, no queue slot consumed) and blocking only
+// while the queue is full (backpressure for in-quota jobs). ctx applies to
 // the whole job lifetime — waiting for a queue slot, waiting for a worker,
-// and the decomposition itself. A ctx cancelled anywhere along that path
-// delivers ctx.Err() on the returned channel.
+// and the decomposition itself; a ctx cancelled anywhere along that path
+// delivers ctx.Err() on the returned channel, and a job cancelled while
+// still queued releases its tenant's quota without ever occupying a worker.
 func (e *Engine) Submit(ctx context.Context, job Job) <-chan JobResult {
 	out := make(chan JobResult, 1)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Register as an in-flight sender under the read lock, then release it
-	// BEFORE the potentially blocking send: holding mu across the send would
-	// stall every Decompose/Compress behind a pending Close (RWMutex writer
-	// priority) whenever the queue is full. Close waits for registered
-	// senders before closing the queue, so the send below cannot race a
-	// close(queue).
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		out <- JobResult{Tag: job.Tag, Err: ErrEngineClosed}
-		return out
-	}
-	e.sending.Add(1)
-	e.mu.RUnlock()
-	defer e.sending.Done()
-	select {
-	case e.queue <- pendingJob{ctx: ctx, job: job, out: out}:
-	case <-ctx.Done():
-		out <- JobResult{Tag: job.Tag, Err: ctx.Err()}
+	_, err := e.sched.Admit(ctx, job.Tenant, job.Priority, pendingJob{ctx: ctx, job: job, out: out},
+		func(err error) {
+			// Cancelled while queued: the scheduler already released the
+			// tenant's quota and guarantees no worker will see the ticket.
+			out <- JobResult{Tag: job.Tag, Err: err}
+		})
+	if err != nil {
+		if errors.Is(err, admission.ErrClosed) {
+			err = ErrEngineClosed
+		}
+		out <- JobResult{Tag: job.Tag, Err: err}
 	}
 	return out
 }
 
-// jobWorker drains the queue until Close closes it; accepted jobs always
-// deliver a result, even when drained after Close began.
+// jobWorker drains the scheduler until Close drains it; accepted jobs always
+// deliver a result, even when popped after Close began. The ticket is
+// Finished (releasing the tenant's running quota) before the result is
+// delivered, so a caller that receives a result can immediately resubmit
+// without tripping its own quota.
 func (e *Engine) jobWorker() {
 	defer e.wg.Done()
-	for pj := range e.queue {
-		pj.out <- e.runJob(pj)
+	for {
+		tk, ok := e.sched.Pop()
+		if !ok {
+			return
+		}
+		jr := e.runJob(tk.Payload)
+		tk.Finish(jr.Err)
+		tk.Payload.out <- jr
 	}
 }
 

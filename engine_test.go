@@ -432,3 +432,442 @@ func TestEngineSubmitFullQueueDoesNotBlockOtherCalls(t *testing.T) {
 		t.Fatal("Close did not return after jobs drained")
 	}
 }
+
+// ----- Admission control: tenants, priorities, quotas, metrics --------------
+
+// gateJob returns an Option whose job blocks the worker it runs on until
+// release is closed, plus a channel closed once the job has started.
+func gateJob() (opt Option, running chan struct{}, release chan struct{}) {
+	running = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	opt = WithProgress(func(int, float64) bool {
+		once.Do(func() { close(running) })
+		<-release
+		return true
+	})
+	return opt, running, release
+}
+
+// startRecorder records the tenant of every JobStarted in pop order.
+type startRecorder struct {
+	EngineStats // counter aggregation, plus the Metrics method set
+	mu          sync.Mutex
+	starts      []string
+}
+
+func (r *startRecorder) JobStarted(tenant string, priority, depth int, wait time.Duration) {
+	r.mu.Lock()
+	r.starts = append(r.starts, tenant)
+	r.mu.Unlock()
+	r.EngineStats.JobStarted(tenant, priority, depth, wait)
+}
+
+func (r *startRecorder) startOrder() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.starts...)
+}
+
+// TestEnginePriorityUnderSaturation is the acceptance scenario: with the
+// queue saturated by a low-priority backlog, a later high-priority submit
+// runs (and completes) before any of the pre-queued backlog.
+func TestEnginePriorityUnderSaturation(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 3
+	rec := &startRecorder{}
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(cfg),
+		WithJobConcurrency(1), WithEngineMetrics(rec))
+	defer eng.Close()
+	ctx := context.Background()
+	ten := engineTestTensor(20)
+
+	hold, running, release := gateJob()
+	gate := eng.Submit(ctx, Job{Tensor: ten, Tag: "gate", Tenant: "gate", Options: []Option{hold}})
+	<-running
+
+	const backlog = 4
+	lo := make([]<-chan JobResult, backlog)
+	for i := range lo {
+		lo[i] = eng.Submit(ctx, Job{Tensor: ten, Tag: fmt.Sprintf("lo-%d", i),
+			Tenant: "batch", Priority: 0, Options: []Option{WithSeed(uint64(i))}})
+	}
+	hi := eng.Submit(ctx, Job{Tensor: ten, Tag: "hi", Tenant: "urgent", Priority: 10})
+
+	close(release)
+	jr := <-hi
+	if jr.Err != nil {
+		t.Fatalf("high-priority job: %v", jr.Err)
+	}
+	for i, ch := range lo {
+		if jr := <-ch; jr.Err != nil {
+			t.Fatalf("backlog job %d: %v", i, jr.Err)
+		}
+	}
+	// Pop order: gate first (it was running), then the high-priority job,
+	// then the FIFO backlog.
+	order := rec.startOrder()
+	want := []string{"gate", "urgent", "batch", "batch", "batch", "batch"}
+	if len(order) != len(want) {
+		t.Fatalf("start order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("start order %v, want %v", order, want)
+		}
+	}
+	<-gate
+}
+
+// TestEngineTenantQuotaReject: an over-quota tenant gets an immediate typed
+// rejection carrying the tenant, without consuming a shared queue slot.
+func TestEngineTenantQuotaReject(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 2
+	stats := &EngineStats{}
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(cfg),
+		WithJobConcurrency(1), WithTenantQuota(1, 1), WithEngineMetrics(stats))
+	defer eng.Close()
+	ctx := context.Background()
+	ten := engineTestTensor(21)
+
+	hold, running, release := gateJob()
+	gate := eng.Submit(ctx, Job{Tensor: ten, Tag: "gate", Tenant: "gate", Options: []Option{hold}})
+	<-running
+
+	queued := eng.Submit(ctx, Job{Tensor: ten, Tag: "q", Tenant: "noisy"})
+	over := <-eng.Submit(ctx, Job{Tensor: ten, Tag: "over", Tenant: "noisy"})
+	if !errors.Is(over.Err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submit err = %v, want ErrQuotaExceeded", over.Err)
+	}
+	var qe *QuotaError
+	if !errors.As(over.Err, &qe) || qe.Tenant != "noisy" {
+		t.Fatalf("quota error %v must carry the tenant", over.Err)
+	}
+	// The rejection consumed no queue slot: another tenant still fits.
+	other := eng.Submit(ctx, Job{Tensor: ten, Tag: "other", Tenant: "quiet"})
+
+	close(release)
+	for tag, ch := range map[string]<-chan JobResult{"gate": gate, "q": queued, "other": other} {
+		if jr := <-ch; jr.Err != nil {
+			t.Fatalf("job %s: %v", tag, jr.Err)
+		}
+	}
+	if ts := stats.Tenant("noisy"); ts.Rejected != 1 || ts.Admitted != 1 {
+		t.Fatalf("noisy stats = %+v, want 1 admitted + 1 rejected", ts)
+	}
+}
+
+// TestEngineQuotaReleasedOnCancelWhileQueued: cancelling a queued job frees
+// its tenant's quota so the tenant can submit again; the cancelled job
+// delivers ctx.Err() and never runs.
+func TestEngineQuotaReleasedOnCancelWhileQueued(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 2
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(cfg),
+		WithJobConcurrency(1), WithTenantQuota(1, 1))
+	defer eng.Close()
+	ten := engineTestTensor(22)
+
+	hold, running, release := gateJob()
+	gate := eng.Submit(context.Background(), Job{Tensor: ten, Tag: "gate", Tenant: "gate", Options: []Option{hold}})
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := eng.Submit(ctx, Job{Tensor: ten, Tag: "q", Tenant: "noisy"})
+	cancel()
+	if jr := <-queued; !errors.Is(jr.Err, context.Canceled) {
+		t.Fatalf("cancelled-while-queued err = %v, want context.Canceled", jr.Err)
+	}
+	// The quota slot is released (the scheduler removes the ticket
+	// asynchronously from the context's AfterFunc; poll briefly).
+	var retry <-chan JobResult
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jrCh := eng.Submit(context.Background(), Job{Tensor: ten, Tag: "retry", Tenant: "noisy"})
+		select {
+		case jr := <-jrCh:
+			if !errors.Is(jr.Err, ErrQuotaExceeded) {
+				t.Fatalf("retry submit err = %v", jr.Err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("quota never released after cancel-while-queued")
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		case <-time.After(20 * time.Millisecond):
+			// No immediate rejection: the job was admitted.
+			retry = jrCh
+		}
+		break
+	}
+	close(release)
+	if jr := <-gate; jr.Err != nil {
+		t.Fatalf("gate: %v", jr.Err)
+	}
+	if jr := <-retry; jr.Err != nil {
+		t.Fatalf("retry after quota release: %v", jr.Err)
+	}
+}
+
+// TestEnginePriorityDeterminism: priorities and tenants reorder WHEN jobs
+// run, never what they compute — every result is bit-identical to a serial
+// run with the same tensor and options, whatever the queue contention.
+func TestEnginePriorityDeterminism(t *testing.T) {
+	cfg := engineTestConfig()
+	eng := NewEngine(WithEngineThreads(3), WithBaseConfig(cfg),
+		WithJobConcurrency(2), WithQueueDepth(4))
+	defer eng.Close()
+	ctx := context.Background()
+
+	const jobs = 10
+	tensors := make([]*Irregular, jobs)
+	baselines := make([]*Result, jobs)
+	for i := range tensors {
+		tensors[i] = engineTestTensor(uint64(30 + i%4))
+		serial := cfg
+		serial.Seed = uint64(i)
+		serial.Threads = 1
+		var err error
+		baselines[i], err = DPar2(tensors[i], serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := make([]<-chan JobResult, jobs)
+	for i := range pending {
+		pending[i] = eng.Submit(ctx, Job{
+			Tensor:   tensors[i],
+			Tag:      fmt.Sprint(i),
+			Tenant:   fmt.Sprintf("t%d", i%3),
+			Priority: (i * 7) % 5, // scrambled priorities reorder the queue
+			Options:  []Option{WithSeed(uint64(i))},
+		})
+	}
+	for i, ch := range pending {
+		jr := <-ch
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.Result.Fitness != baselines[i].Fitness {
+			t.Fatalf("job %d: fitness %v != serial %v", i, jr.Result.Fitness, baselines[i].Fitness)
+		}
+		if !jr.Result.H.EqualApprox(baselines[i].H, 0) || !jr.Result.V.EqualApprox(baselines[i].V, 0) {
+			t.Fatalf("job %d: factors differ from serial run", i)
+		}
+	}
+}
+
+// TestEngineMetricsHook: the hook's per-tenant accounting is consistent once
+// traffic drains — every admit either started or was cancelled, every start
+// finished, and latencies are observed.
+func TestEngineMetricsHook(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 2
+	stats := &EngineStats{}
+	eng := NewEngine(WithEngineThreads(2), WithBaseConfig(cfg),
+		WithJobConcurrency(2), WithEngineMetrics(stats))
+	ctx := context.Background()
+
+	const jobs = 8
+	pending := make([]<-chan JobResult, jobs)
+	for i := range pending {
+		pending[i] = eng.Submit(ctx, Job{
+			Tensor:  engineTestTensor(uint64(40 + i)),
+			Tenant:  fmt.Sprintf("tenant-%d", i%2),
+			Options: []Option{WithSeed(uint64(i))},
+		})
+	}
+	for _, ch := range pending {
+		if jr := <-ch; jr.Err != nil {
+			t.Fatal(jr.Err)
+		}
+	}
+	eng.Close()
+
+	var admitted, completed int64
+	for _, ts := range stats.Snapshot() {
+		admitted += ts.Admitted
+		completed += ts.Completed
+		if ts.Admitted != ts.Started+ts.Cancelled {
+			t.Fatalf("tenant %s: admitted %d != started %d + cancelled %d",
+				ts.Tenant, ts.Admitted, ts.Started, ts.Cancelled)
+		}
+		if ts.Started != ts.Completed+ts.Failed {
+			t.Fatalf("tenant %s: started %d != completed %d + failed %d",
+				ts.Tenant, ts.Started, ts.Completed, ts.Failed)
+		}
+		if ts.Completed > 0 && ts.MeanRunTime() <= 0 {
+			t.Fatalf("tenant %s: completed %d jobs with zero run time", ts.Tenant, ts.Completed)
+		}
+	}
+	if admitted != jobs || completed != jobs {
+		t.Fatalf("admitted %d completed %d, want %d each", admitted, completed, jobs)
+	}
+	if stats.MaxDepth() < 1 {
+		t.Fatal("metrics never observed a queue depth")
+	}
+}
+
+// TestEngineSubmitVsCloseRace: concurrent Submits racing Close (with mixed
+// tenants, priorities, and cancels) each deliver exactly one result from the
+// allowed set, accepted jobs complete, and Close returns. Run with -race.
+func TestEngineSubmitVsCloseRace(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 2
+	for round := 0; round < 3; round++ {
+		eng := NewEngine(WithEngineThreads(2), WithBaseConfig(cfg),
+			WithJobConcurrency(2), WithQueueDepth(4), WithTenantQuota(8, 8))
+		ten := engineTestTensor(uint64(50 + round))
+
+		const submitters = 6
+		results := make(chan JobResult, submitters*4)
+		var wg sync.WaitGroup
+		for s := 0; s < submitters; s++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					ctx, cancel := context.WithCancel(context.Background())
+					ch := eng.Submit(ctx, Job{
+						Tensor:   ten,
+						Tag:      fmt.Sprintf("%d-%d", s, i),
+						Tenant:   fmt.Sprintf("t%d", s%3),
+						Priority: i % 3,
+						Options:  []Option{WithSeed(uint64(i))},
+					})
+					if i%2 == 0 {
+						cancel()
+					} else {
+						defer cancel()
+					}
+					results <- <-ch
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round) * 2 * time.Millisecond)
+		eng.Close()
+		wg.Wait()
+		close(results)
+		for jr := range results {
+			switch {
+			case jr.Err == nil:
+			case errors.Is(jr.Err, ErrEngineClosed):
+			case errors.Is(jr.Err, context.Canceled):
+			case errors.Is(jr.Err, ErrQuotaExceeded):
+			default:
+				t.Fatalf("job %s: unexpected error %v", jr.Tag, jr.Err)
+			}
+		}
+	}
+}
+
+// TestEngineDrainedAfterCloseComplete: jobs accepted before Close — still
+// queued behind a gate — all run to completion during the Close drain.
+func TestEngineDrainedAfterCloseComplete(t *testing.T) {
+	cfg := engineTestConfig()
+	cfg.Rank = 3
+	cfg.MaxIters = 2
+	eng := NewEngine(WithEngineThreads(1), WithBaseConfig(cfg), WithJobConcurrency(1))
+	ten := engineTestTensor(60)
+
+	hold, running, release := gateJob()
+	gate := eng.Submit(context.Background(), Job{Tensor: ten, Tag: "gate", Options: []Option{hold}})
+	<-running
+
+	const backlog = 5
+	pending := make([]<-chan JobResult, backlog)
+	for i := range pending {
+		pending[i] = eng.Submit(context.Background(), Job{
+			Tensor: ten, Tag: fmt.Sprint(i),
+			Tenant: fmt.Sprintf("t%d", i%2), Priority: i % 3,
+		})
+	}
+	closed := make(chan struct{})
+	go func() { eng.Close(); close(closed) }()
+	time.Sleep(10 * time.Millisecond) // let Close begin while the backlog is queued
+	close(release)
+
+	if jr := <-gate; jr.Err != nil {
+		t.Fatalf("gate: %v", jr.Err)
+	}
+	for i, ch := range pending {
+		if jr := <-ch; jr.Err != nil {
+			t.Fatalf("drained job %d must complete, got %v", i, jr.Err)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the drain")
+	}
+}
+
+// TestEngineFitnessAfterClose is the regression test for post-Close
+// evaluation: Fitness after Close must not dispatch onto the closed pool —
+// it falls back to the serial path and returns the identical value.
+func TestEngineFitnessAfterClose(t *testing.T) {
+	ten := engineTestTensor(61)
+	cfg := engineTestConfig()
+	eng := NewEngine(WithEngineThreads(2), WithBaseConfig(cfg))
+	res, err := eng.Decompose(context.Background(), ten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Fitness(ten, res)
+	eng.Close()
+	done := make(chan float64, 1)
+	go func() { done <- eng.Fitness(ten, res) }()
+	select {
+	case after := <-done:
+		if after != before {
+			t.Fatalf("post-Close Fitness %v != pre-Close %v", after, before)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Fitness hung on a closed engine")
+	}
+}
+
+// TestEngineOptionValidationPanics: engine options reject non-positive (or
+// nil) values loudly instead of silently yielding defaults — the one
+// validation rule for NewEngine options.
+func TestEngineOptionValidationPanics(t *testing.T) {
+	mustPanic := func(name string, opt EngineOption) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		opt(&engineSettings{})
+	}
+	mustPanic("WithQueueDepth(0)", WithQueueDepth(0))
+	mustPanic("WithQueueDepth(-1)", WithQueueDepth(-1))
+	mustPanic("WithJobConcurrency(0)", WithJobConcurrency(0))
+	mustPanic("WithJobConcurrency(-3)", WithJobConcurrency(-3))
+	mustPanic("WithTenantQuota(0, 1)", WithTenantQuota(0, 1))
+	mustPanic("WithTenantQuota(1, 0)", WithTenantQuota(1, 0))
+	mustPanic("WithTenantQuota(-1, -1)", WithTenantQuota(-1, -1))
+	mustPanic("WithTenantQuotaOverrides(nil)", WithTenantQuotaOverrides(nil))
+	mustPanic("WithTenantQuotaOverrides(bad)", WithTenantQuotaOverrides(
+		map[string]TenantQuota{"t": {MaxQueued: 0, MaxRunning: 1}}))
+	mustPanic("WithEngineMetrics(nil)", WithEngineMetrics(nil))
+
+	// Positive values configure without panicking.
+	s := engineSettings{}
+	WithQueueDepth(7)(&s)
+	WithJobConcurrency(2)(&s)
+	WithTenantQuota(3, 1)(&s)
+	WithTenantQuotaOverrides(map[string]TenantQuota{"vip": {MaxQueued: 9, MaxRunning: 4}})(&s)
+	WithEngineMetrics(&EngineStats{})(&s)
+	if s.queueDepth != 7 || s.jobWorkers != 2 || s.quota.MaxQueued != 3 ||
+		s.overrides["vip"].MaxRunning != 4 || s.metrics == nil {
+		t.Fatalf("options did not apply: %+v", s)
+	}
+}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -73,34 +74,61 @@ func main() {
 			res.TotalTime.Round(time.Millisecond), res.Fitness)
 	}
 
-	// The serving path: a "fleet" of 16 tensors decomposed through the
-	// bounded job queue, all sharing the one pool and its scratch arenas.
-	fmt.Println("\n== batched job service: 16 tensors through Engine.Submit ==")
-	fleet := make([]*repro.Irregular, 16)
-	for i := range fleet {
-		gi := repro.NewRNG(uint64(100 + i))
-		fleet[i] = repro.RandomTensor(gi, 100, 80, 24)
-	}
+	// The serving path: a fleet of tensors decomposed through the
+	// admission-controlled job queue — per-tenant quotas keep the "noisy"
+	// tenant's burst from starving anyone, the "interactive" tenant's
+	// high-priority jobs overtake the pre-queued "batch" backlog, and the
+	// metrics hook aggregates it all into a served-traffic table. Every
+	// job still shares the one pool and its scratch arenas, and results
+	// stay bit-identical to serial runs whatever order the queue picks.
+	fmt.Println("\n== admission-controlled job service: 3 tenants through Engine.Submit ==")
+	stats := &repro.EngineStats{}
+	srv := repro.NewEngine(
+		repro.WithEnginePool(eng.Pool()), // share the pool; we keep ownership
+		repro.WithJobConcurrency(2),
+		repro.WithQueueDepth(16),
+		repro.WithTenantQuota(8, 2),
+		repro.WithTenantQuotaOverrides(map[string]repro.TenantQuota{
+			"noisy": {MaxQueued: 2, MaxRunning: 1}, // one greedy tenant, contained
+		}),
+		repro.WithEngineMetrics(stats),
+	)
+	defer srv.Close()
+
 	start := time.Now()
-	pending := make([]<-chan repro.JobResult, len(fleet))
-	for i, t := range fleet {
-		pending[i] = eng.Submit(ctx, repro.Job{
-			Tensor: t,
-			Tag:    fmt.Sprintf("tenant-%02d", i),
-			Options: []repro.Option{
-				repro.WithRank(10), repro.WithMaxIters(10), repro.WithSeed(uint64(i)),
-			},
-		})
+	var pending []<-chan repro.JobResult
+	submit := func(tenant string, priority, n, rows int) {
+		for i := 0; i < n; i++ {
+			gi := repro.NewRNG(uint64(100 + len(pending)))
+			pending = append(pending, srv.Submit(ctx, repro.Job{
+				Tensor:   repro.RandomTensor(gi, rows, 80, 24),
+				Tag:      fmt.Sprintf("%s-%02d", tenant, i),
+				Tenant:   tenant,
+				Priority: priority,
+				Options: []repro.Option{
+					repro.WithRank(10), repro.WithMaxIters(10), repro.WithSeed(uint64(i)),
+				},
+			}))
+		}
 	}
+	submit("batch", 0, 6, 200)       // low-priority backlog, queued first
+	submit("interactive", 10, 6, 60) // overtakes the backlog
+	submit("noisy", 0, 8, 60)        // bursts past MaxQueued 2: excess rejected
+
+	var rejected int
 	for _, ch := range pending {
 		jr := <-ch
-		if jr.Err != nil {
+		switch {
+		case jr.Err == nil:
+		case errors.Is(jr.Err, repro.ErrQuotaExceeded):
+			rejected++ // the typed *QuotaError names the tenant
+		default:
 			log.Fatalf("%s: %v", jr.Tag, jr.Err)
 		}
-		fmt.Printf("%s  fitness %.4f  %v\n", jr.Tag, jr.Result.Fitness,
-			jr.Result.TotalTime.Round(time.Millisecond))
 	}
-	fmt.Printf("fleet wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(stats.String())
+	fmt.Printf("noisy submits rejected: %d\nfleet wall time: %v\n",
+		rejected, time.Since(start).Round(time.Millisecond))
 }
 
 func mustRun(eng *repro.Engine, ctx context.Context, t *repro.Irregular, opts ...repro.Option) time.Duration {

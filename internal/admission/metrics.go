@@ -1,0 +1,196 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics observes the scheduler. Implementations must be safe for
+// concurrent use; every callback is invoked outside the queue lock, so a
+// hook may call back into the queue (Depth, TenantLoad) freely. Callbacks
+// for different tickets may interleave in any order — the hook sees a
+// faithful event stream per ticket, not a globally serialized one.
+//
+// The event vocabulary, per ticket lifecycle:
+//
+//   - JobAdmitted   — the ticket entered the queue; queueDepth is the depth
+//     just after. The ticket becomes poppable (and cancellable) only once
+//     this callback returns, so even a mid-traffic observer sees Admitted
+//     before the same ticket's Started or Cancelled.
+//   - JobRejected   — the admit failed (quota, closed queue, or the context
+//     dying during backpressure); err says which.
+//   - JobStarted    — a worker popped the ticket; queueWait is time spent
+//     queued, queueDepth the depth just after the pop.
+//   - JobFinished   — the worker retired the ticket via Finish; runTime is
+//     pop-to-Finish, err the job's outcome (nil = success).
+//   - JobCancelled  — the ticket's context died while it was still queued;
+//     it will never start.
+type Metrics interface {
+	JobAdmitted(tenant string, priority, queueDepth int)
+	JobRejected(tenant string, err error)
+	JobStarted(tenant string, priority, queueDepth int, queueWait time.Duration)
+	JobFinished(tenant string, priority int, runTime time.Duration, err error)
+	JobCancelled(tenant string, priority int, queueWait time.Duration)
+}
+
+// NopMetrics is the no-op hook the queue uses when none is configured.
+type NopMetrics struct{}
+
+func (NopMetrics) JobAdmitted(string, int, int)                  {}
+func (NopMetrics) JobRejected(string, error)                     {}
+func (NopMetrics) JobStarted(string, int, int, time.Duration)    {}
+func (NopMetrics) JobFinished(string, int, time.Duration, error) {}
+func (NopMetrics) JobCancelled(string, int, time.Duration)       {}
+
+// Stats is a ready-made Metrics implementation: per-tenant counters and
+// latency totals, enough to print a served-traffic table. The zero value is
+// ready to use; Snapshot reads a consistent copy at any time, including
+// while traffic is still flowing.
+type Stats struct {
+	mu       sync.Mutex
+	tenants  map[string]*TenantStats
+	maxDepth int
+}
+
+// TenantStats is one tenant's aggregate view of the traffic it was served.
+type TenantStats struct {
+	Tenant    string
+	Admitted  int64 // tickets that entered the queue
+	Rejected  int64 // admits refused (quota, closed, ctx during backpressure)
+	Started   int64 // tickets handed to a worker
+	Completed int64 // finished with a nil error
+	Failed    int64 // finished with a non-nil error
+	Cancelled int64 // cancelled while still queued
+
+	QueueWait time.Duration // total time started+cancelled tickets sat queued
+	RunTime   time.Duration // total pop-to-Finish time of finished tickets
+}
+
+// MeanQueueWait is the average time a started or cancelled ticket spent
+// queued (0 when none have left the queue yet).
+func (t TenantStats) MeanQueueWait() time.Duration {
+	n := t.Started + t.Cancelled
+	if n == 0 {
+		return 0
+	}
+	return t.QueueWait / time.Duration(n)
+}
+
+// MeanRunTime is the average pop-to-Finish latency (0 when nothing finished).
+func (t TenantStats) MeanRunTime() time.Duration {
+	n := t.Completed + t.Failed
+	if n == 0 {
+		return 0
+	}
+	return t.RunTime / time.Duration(n)
+}
+
+// tenant returns (creating if needed) the record for name. Callers hold s.mu.
+func (s *Stats) tenant(name string) *TenantStats {
+	if s.tenants == nil {
+		s.tenants = make(map[string]*TenantStats)
+	}
+	t := s.tenants[name]
+	if t == nil {
+		t = &TenantStats{Tenant: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+func (s *Stats) JobAdmitted(tenant string, priority, queueDepth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).Admitted++
+	if queueDepth > s.maxDepth {
+		s.maxDepth = queueDepth
+	}
+}
+
+func (s *Stats) JobRejected(tenant string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).Rejected++
+}
+
+func (s *Stats) JobStarted(tenant string, priority, queueDepth int, queueWait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.Started++
+	t.QueueWait += queueWait
+}
+
+func (s *Stats) JobFinished(tenant string, priority int, runTime time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	if err == nil {
+		t.Completed++
+	} else {
+		t.Failed++
+	}
+	t.RunTime += runTime
+}
+
+func (s *Stats) JobCancelled(tenant string, priority int, queueWait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.Cancelled++
+	t.QueueWait += queueWait
+}
+
+// MaxDepth reports the deepest the queue has been at any admit.
+func (s *Stats) MaxDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxDepth
+}
+
+// Tenant returns a copy of one tenant's stats (zero value if unseen).
+func (s *Stats) Tenant(name string) TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return *t
+	}
+	return TenantStats{Tenant: name}
+}
+
+// Snapshot returns a copy of every tenant's stats, sorted by tenant name.
+func (s *Stats) Snapshot() []TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// String renders the served-traffic table — one row per tenant plus the
+// queue's high-water depth. Meant for CLIs and examples; structured
+// consumers should use Snapshot.
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %7s %11s %11s\n",
+		"tenant", "admitted", "rejected", "completed", "failed", "cancel", "mean-wait", "mean-run")
+	for _, t := range snap {
+		name := t.Tenant
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Fprintf(&b, "%-12s %9d %9d %9d %9d %7d %11v %11v\n",
+			name, t.Admitted, t.Rejected, t.Completed, t.Failed, t.Cancelled,
+			t.MeanQueueWait().Round(time.Microsecond),
+			t.MeanRunTime().Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "max queue depth: %d\n", s.MaxDepth())
+	return b.String()
+}

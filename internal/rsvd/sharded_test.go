@@ -18,8 +18,8 @@ func TestNumShards(t *testing.T) {
 		{1001, 64, 1000, 18, 2},
 		{8000, 64, 1000, 18, 8},
 		{1600, 64, 230, 18, 7},
-		{100, 64, 10, 18, 5},  // clamped: each shard keeps >= sketch rows
-		{30, 64, 10, 18, 1},   // clamp all the way down to one shard
+		{100, 64, 10, 18, 5},    // clamped: each shard keeps >= sketch rows
+		{30, 64, 10, 18, 1},     // clamp all the way down to one shard
 		{8000, 18, 1000, 18, 1}, // sketch >= cols: degenerate, stay flat
 		{8000, 12, 1000, 18, 1}, // narrower still: stay flat
 	}

@@ -41,7 +41,10 @@ type jobSpec struct {
 // Option configures one decomposition request (Engine.Decompose, a submitted
 // Job, Engine.Compress, Engine.NewStream). Options apply in order over the
 // Engine's base Config; a later option wins. An invalid option surfaces as an
-// error from the call it was passed to, before any work starts.
+// error from the call it was passed to, before any work starts — the
+// per-call half of the repository's validation rule. (EngineOptions, which
+// configure NewEngine itself, panic on invalid values instead: a
+// misconfigured engine is a programming error, not a request to fail.)
 type Option func(*jobSpec) error
 
 // WithMethod selects the algorithm (default MethodDPar2). The name is

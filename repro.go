@@ -32,28 +32,75 @@
 // The four algorithms of the paper (MethodDPar2, MethodRDALS, MethodALS,
 // MethodSPARTan) ship registered; Methods lists the registry.
 //
-// # The batched job service
+// # The multi-tenant job service: admission control
 //
-// For servers decomposing many tensors against one runtime, Submit queues
-// jobs on a bounded queue drained by a fixed set of job workers — all on the
-// Engine's one pool, with the arena keeping steady-state allocation near
-// zero across jobs:
+// For servers decomposing many tensors against one runtime, Submit runs
+// jobs through an admission-controlled queue drained by a fixed set of job
+// workers — all on the Engine's one pool, with the arena keeping
+// steady-state allocation near zero across jobs. The queue is a priority
+// queue with per-tenant quotas, so N tenants share the Engine without a
+// FIFO letting one of them starve the rest:
 //
-//	pending := make([]<-chan repro.JobResult, 0, len(tensors))
-//	for i, t := range tensors {
-//		pending = append(pending, eng.Submit(ctx, repro.Job{
-//			Tensor:  t,
-//			Tag:     fmt.Sprint(i),
-//			Options: []repro.Option{repro.WithRank(10), repro.WithSeed(uint64(i))},
-//		}))
-//	}
-//	for _, ch := range pending {
-//		jr := <-ch // exactly one result per job
-//		...
-//	}
+//	stats := &repro.EngineStats{} // ready-made metrics hook
+//	eng := repro.NewEngine(
+//		repro.WithTenantQuota(8, 2), // per tenant: <=8 queued, <=2 running
+//		repro.WithTenantQuotaOverrides(map[string]repro.TenantQuota{
+//			"batch": {MaxQueued: 4, MaxRunning: 1}, // squeezed pipeline
+//		}),
+//		repro.WithEngineMetrics(stats),
+//	)
+//	defer eng.Close()
+//
+//	ch := eng.Submit(ctx, repro.Job{
+//		Tensor:   t,
+//		Tag:      "req-42",
+//		Tenant:   "interactive", // quota bucket ("" is the default bucket)
+//		Priority: 10,            // higher runs first; ties are FIFO
+//		Options:  []repro.Option{repro.WithRank(10), repro.WithSeed(7)},
+//	})
+//	jr := <-ch // exactly one result per job
+//
+// Queued jobs run in (Priority descending, submission order) — a saturated
+// queue's high-priority submits overtake the pre-queued backlog. A tenant
+// at its MaxQueued quota gets an immediate typed rejection (a *QuotaError
+// matching ErrQuotaExceeded, carrying the tenant) without consuming a
+// shared queue slot; in-quota jobs still get backpressure (Submit blocks
+// while the queue is full). MaxRunning is enforced by the scheduler
+// skipping a capped tenant's jobs — the workers stay busy with other
+// tenants — until one of its running jobs completes. Quota is released when
+// a job finishes and when a queued job's context is cancelled.
+//
+// JobResult.Err taxonomy — exactly one of Result/Err is set, and Err is one
+// of:
+//
+//   - the job context's error (ctx.Err()), if cancelled while queued or
+//     mid-run; a job cancelled while queued releases its tenant's quota and
+//     never occupies a worker;
+//   - ErrEngineClosed, if submitted after Close;
+//   - a *QuotaError matching ErrQuotaExceeded, if the tenant was over its
+//     queued quota;
+//   - the decomposition's own error otherwise.
+//
+// The WithEngineMetrics hook observes the whole flow: queue depth on admit
+// and pop, per-job queue-wait and run latency, per-tenant
+// admitted/rejected/completed/cancelled events. EngineStats aggregates them
+// into a printable served-traffic table (see examples/scalability and
+// cmd/experiments -fleet).
 //
 // Results are deterministic for a given tensor and options — bit-identical
-// whether a job runs alone, concurrently with others, or at any pool width.
+// whether a job runs alone, concurrently with others, at any pool width, or
+// reordered by any priority/quota schedule. Priorities change WHEN a job
+// runs, never what it computes.
+//
+// # Option validation
+//
+// NewEngine options validate eagerly and panic on values that would
+// otherwise silently fall back to a default: WithQueueDepth and
+// WithJobConcurrency require positive counts, WithTenantQuota and
+// WithTenantQuotaOverrides require positive bounds (leave a tenant
+// quota-less for "unbounded"), WithEngineMetrics requires a non-nil hook.
+// Per-call Options (WithRank, WithMaxIters, ...) instead return an error
+// from the call they were passed to, before any work starts.
 //
 // # Threading model
 //

@@ -2,67 +2,107 @@
 # Benchmark smoke guard: runs the perf-trajectory benchmarks
 # (BenchmarkDPar2 end-to-end, BenchmarkDPar2IterationAllocs for the
 # allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path,
-# BenchmarkAbsorb for the streaming absorb path) and fails when
+# BenchmarkAbsorb for the streaming absorb path, and
+# BenchmarkEngineContendedQueue for the admission scheduler) and fails when
+#   - any expected benchmark is missing from the output or its metrics do
+#     not parse — a renamed benchmark or an empty result line is a hard
+#     failure, never a vacuous pass;
 #   - allocations per ALS iteration regress above the per-iteration budget
 #     on either iteration bench (BENCH_1.json recorded ~104 allocs/iter
-#     after the PR-1 arena work; the guard allows headroom to ~150), or
+#     after the PR-1 arena work; the guard allows headroom to ~150);
 #   - allocations per absorbed batch regress above the absorb budget on
 #     either BenchmarkAbsorb variant (~950 measured when the lazy factored-Q
 #     absorb landed; the budget allows headroom to 1500 — and because the
 #     K=8 and K=64 variants absorb the identical batch, a K-dependent
-#     allocation leak trips the same budget long before it ships).
+#     allocation leak trips the same budget long before it ships);
+#   - BenchmarkDPar2's reported fitness drops below 0.95 (BENCH_1.json
+#     recorded 0.9559; a vanishing fitness means the workload silently
+#     changed);
+#   - the contended-queue bench shows a high-priority mean queue wait above
+#     the queue-wait budget, or a priority inversion (high-priority jobs
+#     waiting longer than the low-priority backlog they are meant to
+#     overtake).
 #
-# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb]
+# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms]
 set -eu
 
 budget="${1:-150}"
 absorb_budget="${2:-1500}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb)$' -benchtime 2x -benchmem .)"
+qwait_budget="${3:-250}"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkEngineContendedQueue)$' -benchtime 2x -benchmem .)"
 echo "$out"
 
-echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" '
-/^BenchmarkDPar2(IterationAllocs|TallSlice)/ {
-    iters = 0; allocs = -1
-    for (i = 1; i <= NF; i++) {
-        if ($i == "als-iters")  iters  = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" '
+function metric(name,   i) {
+    # value of a named benchmark metric on the current line, or "" if absent
+    for (i = 2; i <= NF; i++) if ($i == name) return $(i - 1)
+    return ""
+}
+function require(val, name) {
+    if (val == "") {
+        printf "benchsmoke: could not parse %s from %s\n", name, $1 > "/dev/stderr"
+        exit 2
     }
-    if (iters <= 0 || allocs < 0) {
-        printf "benchsmoke: could not parse als-iters/allocs from %s\n", $1 > "/dev/stderr"
+    return val
+}
+$1 ~ /^BenchmarkDPar2(-[0-9]+)?$/ {
+    seen["BenchmarkDPar2"] = 1
+    fit = require(metric("fitness"), "fitness")
+    printf "benchsmoke: %s fitness %.4f (floor 0.95)\n", $1, fit
+    if (fit < 0.95) {
+        printf "benchsmoke: FAIL — %s fitness %.4f below 0.95\n", $1, fit > "/dev/stderr"
+        bad = 1
+    }
+}
+$1 ~ /^BenchmarkDPar2(IterationAllocs|TallSlice)(-[0-9]+)?$/ {
+    sub(/-[0-9]+$/, "", $1); seen[$1] = 1
+    iters  = require(metric("als-iters"), "als-iters")
+    allocs = require(metric("allocs/op"), "allocs/op")
+    if (iters <= 0) {
+        printf "benchsmoke: %s reported zero als-iters\n", $1 > "/dev/stderr"
         exit 2
     }
     per = allocs / iters
     printf "benchsmoke: %s %.1f allocs per ALS iteration (budget %d)\n", $1, per, budget
-    found++
     if (per > budget) {
         printf "benchsmoke: FAIL — %s regressed above %d allocs per ALS iteration\n", $1, budget > "/dev/stderr"
         bad = 1
     }
 }
-/^BenchmarkAbsorb\// {
-    allocs = -1
-    for (i = 1; i <= NF; i++) {
-        if ($i == "allocs/op") allocs = $(i - 1)
-    }
-    if (allocs < 0) {
-        printf "benchsmoke: could not parse allocs from %s\n", $1 > "/dev/stderr"
-        exit 2
-    }
+$1 ~ /^BenchmarkAbsorb\// {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkAbsorb\//, "", name)
+    seen["BenchmarkAbsorb/" name] = 1
+    allocs = require(metric("allocs/op"), "allocs/op")
     printf "benchsmoke: %s %.0f allocs per absorbed batch (budget %d)\n", $1, allocs, absorb_budget
-    absorbs++
     if (allocs > absorb_budget) {
         printf "benchsmoke: FAIL — %s regressed above %d allocs per absorbed batch\n", $1, absorb_budget > "/dev/stderr"
         bad = 1
     }
 }
+$1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
+    seen["BenchmarkEngineContendedQueue"] = 1
+    hi = require(metric("hi-qwait-ms"), "hi-qwait-ms")
+    lo = require(metric("lo-qwait-ms"), "lo-qwait-ms")
+    printf "benchsmoke: %s hi-qwait %.2fms lo-qwait %.2fms (hi budget %dms)\n", $1, hi, lo, qwait_budget
+    if (hi > qwait_budget) {
+        printf "benchsmoke: FAIL — high-priority queue wait %.2fms above %dms budget\n", hi, qwait_budget > "/dev/stderr"
+        bad = 1
+    }
+    if (hi > lo) {
+        printf "benchsmoke: FAIL — priority inversion: hi-qwait %.2fms > lo-qwait %.2fms\n", hi, lo > "/dev/stderr"
+        bad = 1
+    }
+}
 END {
-    if (found < 2) {
-        print "benchsmoke: expected both BenchmarkDPar2IterationAllocs and BenchmarkDPar2TallSlice to run" > "/dev/stderr"
-        exit 2
+    # Every guarded benchmark must have produced a parseable result line:
+    # a rename or an empty run is a hard failure, not a silent skip.
+    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkEngineContendedQueue", want, " ")
+    for (i = 1; i <= n; i++) {
+        if (!(want[i] in seen)) {
+            printf "benchsmoke: expected benchmark %s missing from output\n", want[i] > "/dev/stderr"
+            missing = 1
+        }
     }
-    if (absorbs < 2) {
-        print "benchsmoke: expected both BenchmarkAbsorb variants (K8, K64) to run" > "/dev/stderr"
-        exit 2
-    }
+    if (missing) exit 2
     if (bad) exit 1
 }'

@@ -571,14 +571,48 @@ func BenchmarkAblationPowerIter(b *testing.B) {
 
 // --- kernel-level microbenches ------------------------------------------------
 
+// BenchmarkKernelMatMul covers the square fill-in sizes plus the two shapes
+// the register-blocked kernels are sized for: the R×R ALS hot-loop product
+// and the tall-skinny stage-1 projection (I_k × J times J × (R+s)).
 func BenchmarkKernelMatMul(b *testing.B) {
 	g := rng.New(16)
-	for _, n := range []int{64, 256} {
-		a := mat.Gaussian(g, n, n)
-		c := mat.Gaussian(g, n, n)
-		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+	for _, sh := range [][3]int{{64, 64, 64}, {256, 256, 256}, {10, 10, 10}, {600, 88, 18}} {
+		a := mat.Gaussian(g, sh[0], sh[1])
+		c := mat.Gaussian(g, sh[1], sh[2])
+		b.Run(fmt.Sprintf("%dx%dx%d", sh[0], sh[1], sh[2]), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				a.Mul(c)
+			}
+		})
+	}
+}
+
+// BenchmarkFactorBatch guards the fused batched small-SVD sweep at the ALS
+// hot-loop shape: K problems of size R×R (R = 10) through one warmed
+// BatchWorkspace. scripts/benchsmoke.sh budgets allocs/op on both K variants
+// — steady-state batch factorization must stay allocation-free, so any
+// reintroduced per-problem allocation trips the guard at K=8 already and
+// scales visibly at K=64.
+func BenchmarkFactorBatch(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			g := rng.New(60)
+			as := make([]*mat.Dense, k)
+			us := make([]*mat.Dense, k)
+			ss := make([][]float64, k)
+			vs := make([]*mat.Dense, k)
+			for p := 0; p < k; p++ {
+				as[p] = mat.Gaussian(g, 10, 10)
+				us[p] = mat.New(10, 10)
+				ss[p] = make([]float64, 10)
+				vs[p] = mat.New(10, 10)
+			}
+			var ws lapack.BatchWorkspace
+			lapack.FactorBatch(as, us, ss, vs, nil, &ws) // warm the slab
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lapack.FactorBatch(as, us, ss, vs, nil, &ws)
 			}
 		})
 	}

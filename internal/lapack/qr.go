@@ -6,7 +6,36 @@
 // but the inner loops are laid out for the cache: QR and Jacobi both work on
 // column-major scratch so every Householder/rotation pass is contiguous, and
 // the small per-iteration SVDs of the ALS hot loop have allocation-free
-// entry points (FactorInto) backed by reusable workspaces.
+// entry points backed by reusable workspaces.
+//
+// # Allocation-free entry points
+//
+// FactorInto factors one problem into preallocated outputs; ws may be a
+// caller-held *Workspace (zero value is ready) or nil to draw from an
+// internal pool (counted by PoolDraws, so tests can assert zero steady-state
+// churn). FactorWS and TruncatedWS thread a Workspace through the composite
+// paths for callers — like the randomized-SVD sketch loops — that factor
+// repeatedly on one worker.
+//
+// FactorBatch factors a whole batch of small problems in fused lockstep
+// Jacobi sweeps over one BatchWorkspace slab: problems are partitioned
+// across the Runner in a single parallel region, every sweep is one pass
+// over a partition's cache-resident share, and converged problems drop out
+// via per-problem masks. Parallelism is only ever across problems, so each
+// problem's outputs are bit-identical to a sequential FactorInto call for
+// every Runner width. This is the ALS hot-loop entry point: K rank-sized
+// SVDs per iteration cost one call, zero allocations in steady state.
+//
+// # Accumulation-order policy
+//
+// Unlike package mat (whose kernels must keep the naive per-element
+// accumulation order bit-for-bit), lapack permits reassociating serial
+// reductions — dot4/sumsq4 partial sums, unrolled rotation passes — because
+// every factorization runs serially within one problem: results differ from
+// the textbook loop only in the last ulp, and remain deterministic
+// run-to-run and independent of caller thread counts. Any such reordering
+// must keep that thread-count independence and be called out on the
+// function it touches.
 package lapack
 
 import (
@@ -26,8 +55,11 @@ type QR struct {
 // Householder reflections. a is not modified.
 //
 // The factorization works on a column-major copy so the reflector
-// construction and application loops stream contiguous memory; the floating
-// point operation order is identical to the textbook row-major formulation.
+// construction and application loops stream contiguous memory. The reflector
+// dots and column norms accumulate with four partial sums (see dot4): the
+// operation count matches the textbook formulation but the reduction order
+// differs in the last ulp. The result is deterministic — QRFactor is serial,
+// so it is bit-identical run to run and across caller thread counts.
 func QRFactor(a *mat.Dense) QR {
 	m, n := a.Rows, a.Cols
 	if m < n {
@@ -51,12 +83,7 @@ func QRFactor(a *mat.Dense) QR {
 	for k := 0; k < n; k++ {
 		ck := w[k]
 		// Build the Householder vector for column k below row k.
-		var normx float64
-		for i := k; i < m; i++ {
-			v := ck[i]
-			normx += v * v
-		}
-		normx = math.Sqrt(normx)
+		normx := math.Sqrt(sumsq4(ck[k:]))
 		if normx == 0 {
 			betas[k] = 0
 			continue
@@ -83,17 +110,13 @@ func QRFactor(a *mat.Dense) QR {
 		if beta == 0 {
 			continue
 		}
+		tail := ck[k+1 : m]
 		for j := k + 1; j < n; j++ {
 			cj := w[j]
-			dot := cj[k]
-			for i := k + 1; i < m; i++ {
-				dot += ck[i] * cj[i]
-			}
+			dot := cj[k] + dot4(tail, cj[k+1:m])
 			dot *= beta
 			cj[k] -= dot
-			for i := k + 1; i < m; i++ {
-				cj[i] -= dot * ck[i]
-			}
+			axpy(dot, tail, cj[k+1:m])
 		}
 	}
 
@@ -107,30 +130,31 @@ func QRFactor(a *mat.Dense) QR {
 	}
 
 	// Form thin Q by applying the reflectors to the first n columns of I,
-	// in reverse order, again in column-major scratch.
+	// in reverse order, again in column-major scratch. Reflector k only
+	// touches rows ≥ k, so on the identity column e_j every reflector with
+	// k > j has an exactly zero dot and is a no-op: column j needs only
+	// reflectors k = j..0. Iterating columns outermost and skipping that
+	// zero triangle halves the formation work without changing a single
+	// rounding (the skipped applications subtract exact zeros).
 	qbuf := make([]float64, m*n)
 	qc := make([][]float64, n)
 	for j := range qc {
 		qc[j] = qbuf[j*m : (j+1)*m]
 		qc[j][j] = 1
 	}
-	for k := n - 1; k >= 0; k-- {
-		beta := betas[k]
-		if beta == 0 {
-			continue
-		}
-		ck := w[k]
-		for j := 0; j < n; j++ {
-			cj := qc[j]
-			dot := cj[k]
-			for i := k + 1; i < m; i++ {
-				dot += ck[i] * cj[i]
+	for j := 0; j < n; j++ {
+		cj := qc[j]
+		for k := j; k >= 0; k-- {
+			beta := betas[k]
+			if beta == 0 {
+				continue
 			}
+			ck := w[k]
+			tail := ck[k+1 : m]
+			dot := cj[k] + dot4(tail, cj[k+1:m])
 			dot *= beta
 			cj[k] -= dot
-			for i := k + 1; i < m; i++ {
-				cj[i] -= dot * ck[i]
-			}
+			axpy(dot, tail, cj[k+1:m])
 		}
 	}
 	q := mat.New(m, n)

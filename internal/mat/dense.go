@@ -6,6 +6,24 @@
 // Everything is float64 and stdlib-only. Hot loops operate on row slices so
 // the compiler can hoist bounds checks; the multiply kernels split work over
 // a caller-supplied number of goroutines.
+//
+// # Kernel tiling and dispatch
+//
+// Each product (MulInto, TMulInto, MulTInto, GramInto) has a reference
+// kernel and a register-blocked kernel (tiled.go). Dispatch between them is
+// decided by the single sizing table tiledSizing from operand shapes alone —
+// never from the Runner — so a given multiply always runs the same kernel
+// whether serial or parallel.
+//
+// # Determinism rule
+//
+// Every kernel — reference or blocked, any Runner width, any ParallelRanges
+// split — accumulates each output element with exactly one ordered add per
+// inner index, in strictly increasing index order. Results are therefore
+// bitwise identical across thread counts and across the reference/blocked
+// boundary on finite inputs; tiled_test.go pins both properties. Changes to
+// a kernel's accumulation order are not allowed here (contrast with
+// package lapack, whose policy permits serial reorderings).
 package mat
 
 import (

@@ -35,11 +35,13 @@ func (m *Dense) Mul(b *Dense) *Dense {
 // MulInto computes out = m * b and returns out. out must be m.Rows×b.Cols
 // and must not alias m or b. rn may be nil (serial).
 //
-// The kernel streams rows of b in blocks of four per output row (classic
-// i-k-j ordering with the k loop unrolled), which keeps every access pattern
-// sequential and quarters the passes over the output row. The per-element
-// accumulation order over k is unchanged from the naive kernel, so results
-// are bitwise identical to it.
+// Shapes large enough for the register-blocked micro-kernel (see tiledSizing
+// in tiled.go) run blocked — two output rows per pass with the k loop
+// unrolled — while degenerate shapes run the reference kernel, which streams
+// rows of b in blocks of four per output row (classic i-k-j ordering with the
+// k loop unrolled). Both keep every access pattern sequential and accumulate
+// each output element in increasing k order, so results are bitwise identical
+// to the naive kernel and independent of the dispatch decision.
 func (m *Dense) MulInto(out, b *Dense, rn Runner) *Dense {
 	if m.Cols != b.Rows {
 		panic("mat: Mul inner dimension mismatch")
@@ -47,13 +49,17 @@ func (m *Dense) MulInto(out, b *Dense, rn Runner) *Dense {
 	if out.Rows != m.Rows || out.Cols != b.Cols {
 		panic("mat: MulInto shape mismatch")
 	}
+	kernel := mulRange
+	if useTiledMul(m.Rows, b.Cols, m.Cols) {
+		kernel = mulTiledRange
+	}
 	// The serial fast path calls the range kernel directly: no closure is
 	// allocated, which matters for the R×R multiplies of the ALS hot loop.
 	if rn == nil || m.Rows < parRowThreshold {
-		mulRange(out, m, b, 0, m.Rows)
+		kernel(out, m, b, 0, m.Rows)
 		return out
 	}
-	rn.ParallelRanges(m.Rows, func(lo, hi int) { mulRange(out, m, b, lo, hi) })
+	rn.ParallelRanges(m.Rows, func(lo, hi int) { kernel(out, m, b, lo, hi) })
 	return out
 }
 
@@ -128,9 +134,13 @@ func (m *Dense) TMulInto(out, b *Dense, rn Runner) *Dense {
 		panic("mat: TMulInto shape mismatch")
 	}
 	n := b.Cols
+	kernel := tmulRange
+	if useTiledTMul(m.Cols, n, m.Rows) {
+		kernel = tmulTiledRange
+	}
 	if m.Rows <= tmulChunk {
 		out.Zero()
-		tmulRange(out, m, b, 0, m.Rows)
+		kernel(out, m, b, 0, m.Rows)
 		return out
 	}
 	numChunks := (m.Rows + tmulChunk - 1) / tmulChunk
@@ -146,7 +156,7 @@ func (m *Dense) TMulInto(out, b *Dense, rn Runner) *Dense {
 				hi = m.Rows
 			}
 			p.Zero()
-			tmulRange(p, m, b, lo, hi)
+			kernel(p, m, b, lo, hi)
 			out.AddInPlace(p)
 		}
 		return out
@@ -160,7 +170,7 @@ func (m *Dense) TMulInto(out, b *Dense, rn Runner) *Dense {
 				hi = m.Rows
 			}
 			p := New(m.Cols, n)
-			tmulRange(p, m, b, lo, hi)
+			kernel(p, m, b, lo, hi)
 			partials[c] = p
 		}
 	})
@@ -235,11 +245,15 @@ func (m *Dense) MulTInto(out, b *Dense, rn Runner) *Dense {
 	if out.Rows != m.Rows || out.Cols != b.Rows {
 		panic("mat: MulTInto shape mismatch")
 	}
+	kernel := mulTRange
+	if useTiledMulT(m.Rows, b.Rows, m.Cols) {
+		kernel = mulTTiledRange
+	}
 	if rn == nil || m.Rows < parRowThreshold {
-		mulTRange(out, m, b, 0, m.Rows)
+		kernel(out, m, b, 0, m.Rows)
 		return out
 	}
-	rn.ParallelRanges(m.Rows, func(lo, hi int) { mulTRange(out, m, b, lo, hi) })
+	rn.ParallelRanges(m.Rows, func(lo, hi int) { kernel(out, m, b, lo, hi) })
 	return out
 }
 
@@ -294,15 +308,19 @@ func (m *Dense) GramInto(out *Dense) *Dense {
 		panic("mat: GramInto shape mismatch")
 	}
 	out.Zero()
-	for k := 0; k < m.Rows; k++ {
-		arow := m.Data[k*n : (k+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j := i; j < n; j++ {
-				orow[j] += av * arow[j]
+	if useTiledGram(m.Rows) {
+		gramTiledUpper(out, m, 0, m.Rows)
+	} else {
+		for k := 0; k < m.Rows; k++ {
+			arow := m.Data[k*n : (k+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j := i; j < n; j++ {
+					orow[j] += av * arow[j]
+				}
 			}
 		}
 	}

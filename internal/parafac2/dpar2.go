@@ -177,7 +177,19 @@ func stage1Sketches(ctx context.Context, slices []*mat.Dense, gens []*rng.RNG, c
 
 	a = make([]*mat.Dense, len(slices))
 	cb = make([]*mat.Dense, len(slices)) // C_k B_k, J × R
-	pool.RunPartitioned(scheduler.Partition(sizes, pool.Workers()), func(u int) {
+	// One Jacobi workspace per partition bucket: buckets run on exactly one
+	// worker each, so the workspace is never shared concurrently and the
+	// small SVD inside every whole-slice Decompose draws nothing from the
+	// lapack pool.
+	part := scheduler.Partition(sizes, pool.Workers())
+	bucketOf := make([]int, len(units))
+	for bi, bucket := range part {
+		for _, u := range bucket {
+			bucketOf[u] = bi
+		}
+	}
+	wss := make([]lapack.Workspace, len(part))
+	pool.RunPartitioned(part, func(u int) {
 		if ctx.Err() != nil {
 			return
 		}
@@ -186,7 +198,9 @@ func stage1Sketches(ctx context.Context, slices []*mat.Dense, gens []*rng.RNG, c
 		if un.shard < 0 {
 			// The slice is the unit of parallelism; kernels inside the
 			// decomposition run serially (opts.Runner is nil).
-			d := rsvd.Decompose(gens[un.k], s, r, opts)
+			uopts := opts
+			uopts.Workspace = &wss[bucketOf[u]]
+			d := rsvd.Decompose(gens[un.k], s, r, uopts)
 			a[un.k] = d.U
 			cb[un.k] = d.V.ScaleColumns(d.S)
 			return
@@ -197,9 +211,11 @@ func stage1Sketches(ctx context.Context, slices []*mat.Dense, gens []*rng.RNG, c
 
 	// Merge the shard bases slice by slice. Each merge is one small SVD of
 	// the stacked (m·(R+s))×J blocks plus the O(I_k·(R+s)·R) materialization
-	// of A_k, whose kernels run on the pool.
+	// of A_k, whose kernels run on the pool. The merge loop is serial, so a
+	// single reused workspace covers every merge SVD.
 	mopts := opts
 	mopts.Runner = pool
+	mopts.Workspace = new(lapack.Workspace)
 	for k, m := range nShards {
 		if m <= 1 || ctx.Err() != nil {
 			continue
@@ -331,6 +347,16 @@ func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmS
 	p := newRRBlocks(k, r)
 	tf := newRRBlocks(k, r)
 	svals := mat.New(k, r)
+	svalRows := make([][]float64, k)
+	for kk := range svalRows {
+		svalRows[kk] = svals.Row(kk)
+	}
+	// The K per-slice Q-update SVDs run as one fused batch; its slab and
+	// masks live in bws for the whole iteration loop (and, through the
+	// absorb refresh, for the life of a streaming batch) so the batched
+	// kernel never touches the package workspace pool.
+	svdIn := newRRBlocks(k, r)
+	var bws lapack.BatchWorkspace
 
 	dtv := mat.New(r, r)                   // DᵀV
 	ga, gb := mat.New(r, r), mat.New(r, r) // Gram scratch
@@ -350,19 +376,26 @@ func dpar2Iterate(ctx context.Context, comp *Compressed, cfg Config, warm *warmS
 
 		// --- Update Q_k in factored form (Section III-D) -------------
 		// SVD of F⁽ᵏ⁾ E DᵀV S_k Hᵀ (R×R) gives Z_k Σ_k P_kᵀ;
-		// Q_k = A_k Z_k P_kᵀ is never materialized.
+		// Q_k = A_k Z_k P_kᵀ is never materialized. Three phases: build
+		// every SVD input, factor them all in one fused Jacobi batch
+		// (parallel across slices only, so results match K sequential
+		// FactorInto calls bit for bit), then form the T_k caches.
 		pool.ParallelFor(k, func(kk int) {
 			t1 := arena.GetUninit(r, r)
 			t2 := arena.GetUninit(r, r)
 			comp.F[kk].ScaleColumnsInto(t1, comp.E) // F⁽ᵏ⁾E
 			t1.MulInto(t2, dtv, nil)                // · DᵀV
 			t2.ScaleColumnsInto(t2, s[kk])          // · S_k
-			t2.MulTInto(t1, h, nil)                 // · Hᵀ
-			lapack.FactorInto(t1, z[kk], svals.Row(kk), p[kk], nil)
+			t2.MulTInto(svdIn[kk], h, nil)          // · Hᵀ
+			arena.Put(t1, t2)
+		})
+		lapack.FactorBatch(svdIn, z, svalRows, p, pool, &bws)
+		pool.ParallelFor(k, func(kk int) {
 			// Y_k = P_k Z_kᵀ F⁽ᵏ⁾ E Dᵀ; cache T_k = P_k Z_kᵀ F⁽ᵏ⁾.
+			t2 := arena.GetUninit(r, r)
 			p[kk].MulTInto(t2, z[kk], nil)
 			t2.MulInto(tf[kk], comp.F[kk], nil)
-			arena.Put(t1, t2)
+			arena.Put(t2)
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -71,7 +71,7 @@ func TestThreadsDoNotChangeResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, th := range []int{2, 3, 8} {
+	for _, th := range []int{2, 3, 6, 8} {
 		cfg.Threads = th
 		got, err := DPar2(ten, cfg)
 		if err != nil {

@@ -33,6 +33,12 @@ type Options struct {
 	// parallelizes across independent decompositions, as DPar2's stage-1
 	// slice loop does.
 	Runner mat.Runner
+	// Workspace, when non-nil, backs the small Jacobi SVD of the projected
+	// sketch (and the degenerate exact-SVD path). Callers that decompose
+	// many matrices hold one Workspace per worker so steady-state runs draw
+	// nothing from the lapack pool. Must not be shared across concurrent
+	// Decompose calls.
+	Workspace *lapack.Workspace
 }
 
 // DefaultOptions mirrors the paper's setup (rank-R sketch with modest
@@ -80,7 +86,7 @@ func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	if sketch >= minDim {
 		// Sketch would not compress anything; deterministic SVD is both
 		// cheaper and exact here.
-		return padRank(lapack.TruncatedWith(a, min(r, minDim), opts.Runner), r)
+		return padRank(lapack.TruncatedWS(a, min(r, minDim), opts.Runner, opts.Workspace), r)
 	}
 
 	// Y = (AAᵀ)^q A Ω.
@@ -98,7 +104,7 @@ func Decompose(g *rng.RNG, a *mat.Dense, r int, opts Options) lapack.SVD {
 	q := lapack.QRFactor(y).Q                       // I×sketch, orthonormal columns
 	b := q.TMulInto(mat.New(sketch, a.Cols), a, rn) // sketch×J
 
-	inner := lapack.Truncated(b, r)
+	inner := lapack.TruncatedWS(b, r, nil, opts.Workspace)
 	u := q.MulInto(mat.New(q.Rows, r), inner.U, rn)
 	return lapack.SVD{U: u, S: inner.S, V: inner.V}
 }

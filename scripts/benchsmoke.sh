@@ -2,8 +2,9 @@
 # Benchmark smoke guard: runs the perf-trajectory benchmarks
 # (BenchmarkDPar2 end-to-end, BenchmarkDPar2IterationAllocs for the
 # allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path,
-# BenchmarkAbsorb for the streaming absorb path, and
-# BenchmarkEngineContendedQueue for the admission scheduler) and fails when
+# BenchmarkAbsorb for the streaming absorb path, BenchmarkFactorBatch for
+# the fused batched small-SVD sweep, and BenchmarkEngineContendedQueue for
+# the admission scheduler) and fails when
 #   - any expected benchmark is missing from the output or its metrics do
 #     not parse — a renamed benchmark or an empty result line is a hard
 #     failure, never a vacuous pass;
@@ -18,21 +19,26 @@
 #   - BenchmarkDPar2's reported fitness drops below 0.95 (BENCH_1.json
 #     recorded 0.9559; a vanishing fitness means the workload silently
 #     changed);
+#   - steady-state BenchmarkFactorBatch allocations exceed the batch budget
+#     on either K variant (a warmed BatchWorkspace makes the batched Jacobi
+#     sweep allocation-free, so any reintroduced per-problem allocation
+#     shows up as at least K allocs/op);
 #   - the contended-queue bench shows a high-priority mean queue wait above
 #     the queue-wait budget, or a priority inversion (high-priority jobs
 #     waiting longer than the low-priority backlog they are meant to
 #     overtake).
 #
-# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms]
+# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch]
 set -eu
 
 budget="${1:-150}"
 absorb_budget="${2:-1500}"
 qwait_budget="${3:-250}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkEngineContendedQueue)$' -benchtime 2x -benchmem .)"
+batch_budget="${4:-8}"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkFactorBatch|BenchmarkEngineContendedQueue)$' -benchtime 2x -benchmem .)"
 echo "$out"
 
-echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" '
+echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" -v batch_budget="$batch_budget" '
 function metric(name,   i) {
     # value of a named benchmark metric on the current line, or "" if absent
     for (i = 2; i <= NF; i++) if ($i == name) return $(i - 1)
@@ -79,6 +85,16 @@ $1 ~ /^BenchmarkAbsorb\// {
         bad = 1
     }
 }
+$1 ~ /^BenchmarkFactorBatch\// {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkFactorBatch\//, "", name)
+    seen["BenchmarkFactorBatch/" name] = 1
+    allocs = require(metric("allocs/op"), "allocs/op")
+    printf "benchsmoke: %s %.0f allocs per batched SVD sweep (budget %d)\n", $1, allocs, batch_budget
+    if (allocs > batch_budget) {
+        printf "benchsmoke: FAIL — %s regressed above %d allocs per batched SVD sweep\n", $1, batch_budget > "/dev/stderr"
+        bad = 1
+    }
+}
 $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
     seen["BenchmarkEngineContendedQueue"] = 1
     hi = require(metric("hi-qwait-ms"), "hi-qwait-ms")
@@ -96,7 +112,7 @@ $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
 END {
     # Every guarded benchmark must have produced a parseable result line:
     # a rename or an empty run is a hard failure, not a silent skip.
-    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkEngineContendedQueue", want, " ")
+    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue", want, " ")
     for (i = 1; i <= n; i++) {
         if (!(want[i] in seen)) {
             printf "benchsmoke: expected benchmark %s missing from output\n", want[i] > "/dev/stderr"

@@ -1,0 +1,232 @@
+// Package analyzers is reprolint: a suite of static analyzers that enforce
+// the repository's determinism, arena, context, allocation, and lock
+// discipline invariants at compile-review time instead of at runtime.
+//
+// The suite is deliberately built on the standard library only (go/parser,
+// go/types, and a small CFG over the AST) so the module stays
+// dependency-free; the driver in cmd/reprolint resolves package patterns and
+// type information through `go list -export`, which works offline from the
+// build cache.
+//
+// # Analyzers
+//
+//   - determinism: kernel/decomposition packages must not draw from
+//     math/rand, must not let time.Now/time.Since feed computation, and must
+//     not range over maps when the iteration order can reach numeric
+//     accumulation, slice appends, or RNG draws (map order is randomized per
+//     run, which breaks bit-reproducibility).
+//   - arenapair: every compute.Arena Get/GetUninit must reach a matching Put
+//     on all paths out of the function (early returns and panics included;
+//     a deferred Put covers everything), and no buffer is Put twice.
+//   - ctxloop: loops that dispatch heavy work inside context-taking
+//     functions must observe ctx at least once per iteration, and exported
+//     ...Ctx functions must not drop their context.
+//   - noalloc: functions annotated //repro:noalloc must contain no
+//     intraprocedural allocation site (make, new, append, escaping composite
+//     literals, capturing closures, go statements).
+//   - lockhold: no sync.Mutex/RWMutex held across a channel operation, a
+//     blocking compute.Pool dispatch, a WaitGroup.Wait, or a cond.Wait whose
+//     condition variable is not bound to the held lock.
+//
+// # Suppression
+//
+// A finding is suppressed by a directive on the offending line, or on a
+// comment line immediately above it:
+//
+//	//repro:allow(analyzer) reason text
+//
+// The reason is mandatory; a reason-less directive is itself a finding, as
+// is a directive that matches no finding (so stale suppressions cannot
+// linger). See docs/INVARIANTS.md for the full catalogue.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Report func(Diagnostic)
+}
+
+// Reportf records a finding for the running analyzer.
+func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo gates the analyzer to a package-path subset; nil means every
+	// package. The driver consults it — fixture tests run Run directly.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerArenaPair,
+		AnalyzerCtxLoop,
+		AnalyzerNoAlloc,
+		AnalyzerLockHold,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	idx := make(map[string]*Analyzer)
+	for _, a := range All() {
+		idx[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a := idx[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists every analyzer name in suite order.
+func Names() []string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name)
+	}
+	return ns
+}
+
+// kernelPackages are the bit-reproducibility-critical packages the
+// determinism analyzer gates on: the matrix/LAPACK kernels, the randomized
+// sketch, the decomposition loops, and the deterministic RNG itself.
+var kernelPackages = map[string]bool{
+	"repro/internal/mat":      true,
+	"repro/internal/lapack":   true,
+	"repro/internal/rsvd":     true,
+	"repro/internal/parafac2": true,
+	"repro/internal/rng":      true,
+}
+
+// isPkgPath reports whether path names pkg — either the repository package
+// (exact path or "repro/internal/<pkg>") or a fixture stand-in whose import
+// path is just the bare name. Keeping the match path-based (not object
+// identity) lets the analysistest fixtures provide miniature stand-in
+// packages for compute, rng, etc.
+func isPkgPath(path, pkg string) bool {
+	return path == pkg || path == "repro/internal/"+pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// SortDiagnostics orders findings by position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+// ---- shared type-query helpers ---------------------------------------------
+
+// calleeFunc resolves the called function or method object of a call, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver (pointers
+// dereferenced), or nil for non-methods.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethodOn reports whether call is a method call named methodName on the
+// named type typeName declared in a package matching pkg (see isPkgPath).
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkg, typeName string, methodName ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	named := recvNamed(f)
+	if named == nil || named.Obj().Name() != typeName {
+		return false
+	}
+	tp := named.Obj().Pkg()
+	if tp == nil || !isPkgPath(tp.Path(), pkg) {
+		return false
+	}
+	for _, m := range methodName {
+		if f.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCtxParam reports whether sig takes a context.Context anywhere.
+func hasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

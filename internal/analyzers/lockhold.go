@@ -1,0 +1,379 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockHold forbids holding a sync.Mutex / sync.RWMutex across a
+// blocking operation. With a lock held (including via the idiomatic
+// lock-then-defer-unlock pattern, which keeps the lock to function exit), the
+// following are flagged:
+//
+//   - a channel send or receive (the pre-admission-control Engine.Submit
+//     deadlock shape: holding e.mu while sending to a full queue channel
+//     stalls every other Submit AND the worker that would drain it);
+//   - a select with no default clause (its chosen communication blocks);
+//   - a blocking compute.Pool dispatch (Do, ParallelFor, ParallelRanges,
+//     RunPartitioned) — these park until workers finish, and workers may need
+//     the same lock;
+//   - sync.WaitGroup.Wait;
+//   - sync.Cond.Wait on a condition variable that is not bound (via
+//     sync.NewCond) to one of the locks currently held: Wait atomically
+//     unlocks ITS OWN lock, so waiting under a different held lock sleeps
+//     with that lock pinned.
+//
+// The analysis is an intraprocedural may-hold dataflow over the CFG: a lock
+// held on any path into a blocking node is reported. Unlock/RUnlock clears
+// the lock on that path; a deferred Unlock deliberately does not (the lock
+// really is held for the remainder of the function body).
+var AnalyzerLockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no mutex held across channel operations, blocking pool dispatches, WaitGroup.Wait, or foreign cond.Wait",
+	Run:  runLockHold,
+}
+
+// condBindings maps the field/variable object of a *sync.Cond to the object
+// of the lock it was constructed over with sync.NewCond(&lock).
+type condBindings map[types.Object]types.Object
+
+func runLockHold(pass *Pass) {
+	binds := collectCondBindings(pass)
+	forEachFunc(pass.Files, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+		analyzeLockFunc(pass, body, binds)
+	})
+}
+
+// collectCondBindings pre-scans the package for sync.NewCond(&X) assignments,
+// binding the cond's destination object to X's object.
+func collectCondBindings(pass *Pass) condBindings {
+	binds := condBindings{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range a.Rhs {
+				if i >= len(a.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Name() != "NewCond" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+					continue
+				}
+				if len(call.Args) != 1 {
+					continue
+				}
+				ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				lockObj := exprObject(pass.Info, ue.X)
+				condObj := exprObject(pass.Info, a.Lhs[i])
+				if lockObj != nil && condObj != nil {
+					binds[condObj] = lockObj
+				}
+			}
+			return true
+		})
+	}
+	return binds
+}
+
+// heldSet is the may-hold state: canonical receiver string -> lock object
+// (object may be nil when the receiver is not a simple ident/selector chain).
+type heldSet map[string]types.Object
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func analyzeLockFunc(pass *Pass, body *ast.BlockStmt, binds condBindings) {
+	// Pre-scan: skip functions with no Lock call at all.
+	locks := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMutexCall(pass.Info, call, "Lock", "RLock") {
+			locks = true
+		}
+		return !locks
+	})
+	if !locks {
+		return
+	}
+
+	g := buildCFG(body)
+	if g.hasGoto {
+		return
+	}
+
+	in := make([]heldSet, len(g.nodes))
+	reported := map[ast.Node]bool{}
+
+	transfer := func(n *cfgNode, held heldSet, record bool) heldSet {
+		// A defer's call runs at function exit, not here: it neither blocks
+		// now nor (crucially) releases a lock now — `defer mu.Unlock()`
+		// keeps mu held for the remainder of the body.
+		if _, isDefer := n.stmt.(*ast.DeferStmt); isDefer {
+			return held
+		}
+		// 1. Blocking-op checks against the incoming held set.
+		if len(held) > 0 && record {
+			checkBlocking(pass, n, held, binds, reported)
+		}
+		// 2. Lock/Unlock effects.
+		for _, part := range n.nodeParts() {
+			inspectSkippingFuncLits(part, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv := mutexRecvExpr(call)
+				if recv == nil {
+					return true
+				}
+				key := exprKey(recv)
+				switch {
+				case isMutexCall(pass.Info, call, "Lock", "RLock"):
+					held[key] = exprObject(pass.Info, recv)
+				case isMutexCall(pass.Info, call, "Unlock", "RUnlock"):
+					delete(held, key)
+				}
+				return true
+			})
+		}
+		return held
+	}
+
+	merge := func(dst, src heldSet) (heldSet, bool) {
+		if dst == nil {
+			return src.clone(), true
+		}
+		changed := false
+		for k, v := range src {
+			if _, ok := dst[k]; !ok {
+				dst[k] = v
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+
+	work := []*cfgNode{g.entry}
+	in[g.entry.index] = heldSet{}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(n, in[n.index].clone(), false)
+		for _, s := range n.succs {
+			m, changed := merge(in[s.index], out)
+			in[s.index] = m
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Reporting pass over stable states.
+	for _, n := range g.nodes {
+		if in[n.index] == nil {
+			continue
+		}
+		transfer(n, in[n.index].clone(), true)
+	}
+}
+
+// checkBlocking reports blocking operations at node n given the held set.
+func checkBlocking(pass *Pass, n *cfgNode, held heldSet, binds condBindings, reported map[ast.Node]bool) {
+	report := func(at ast.Node, what string) {
+		if reported[at] {
+			return
+		}
+		reported[at] = true
+		pass.Reportf("lockhold", at.Pos(),
+			"%s while holding %s: blocking with a mutex held stalls every contender (release the lock first, or restructure so the blocking op happens outside the critical section)",
+			what, heldNames(held))
+	}
+
+	// Select heads: the select itself blocks unless it has a default clause.
+	if sel, ok := n.stmt.(*ast.SelectStmt); ok {
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			report(sel, "select with no default clause")
+		}
+		return
+	}
+	// Communication clauses were accounted for at the select head.
+	if n.isComm {
+		return
+	}
+
+	// Channel send statement.
+	if snd, ok := n.stmt.(*ast.SendStmt); ok {
+		report(snd, "channel send")
+	}
+
+	for _, part := range n.nodeParts() {
+		inspectSkippingFuncLits(part, func(x ast.Node) bool {
+			switch e := x.(type) {
+			case *ast.UnaryExpr:
+				if e.Op.String() == "<-" {
+					report(e, "channel receive")
+				}
+			case *ast.CallExpr:
+				if isMethodOn(pass.Info, e, "compute", "Pool", "Do", "ParallelFor", "ParallelRanges", "RunPartitioned") {
+					report(e, "blocking compute.Pool dispatch")
+				}
+				if isSyncMethod(pass.Info, e, "WaitGroup", "Wait") {
+					report(e, "sync.WaitGroup.Wait")
+				}
+				if isSyncMethod(pass.Info, e, "Cond", "Wait") {
+					checkCondWait(pass, e, held, binds, report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCondWait allows cond.Wait only when the cond is bound (via
+// sync.NewCond) to one of the currently held locks.
+func checkCondWait(pass *Pass, call *ast.CallExpr, held heldSet, binds condBindings, report func(ast.Node, string)) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		report(call, "sync.Cond.Wait on an unresolvable condition variable")
+		return
+	}
+	condObj := exprObject(pass.Info, sel.X)
+	lockObj := binds[condObj]
+	if lockObj == nil {
+		report(call, "sync.Cond.Wait on a condition variable with no visible sync.NewCond binding")
+		return
+	}
+	for _, obj := range held {
+		if obj != nil && obj == lockObj {
+			return // Waiting on the lock we hold: the one correct pattern.
+		}
+	}
+	report(call, "sync.Cond.Wait bound to a DIFFERENT lock than the one(s) held")
+}
+
+// isMutexCall reports a method call with one of names on sync.Mutex/RWMutex.
+func isMutexCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	return isSyncMethodAny(info, call, []string{"Mutex", "RWMutex"}, names)
+}
+
+func isSyncMethod(info *types.Info, call *ast.CallExpr, typeName string, names ...string) bool {
+	return isSyncMethodAny(info, call, []string{typeName}, names)
+}
+
+func isSyncMethodAny(info *types.Info, call *ast.CallExpr, typeNames, names []string) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	named := recvNamed(f)
+	if named == nil {
+		return false
+	}
+	tp := named.Obj().Pkg()
+	if tp == nil || tp.Path() != "sync" {
+		return false
+	}
+	typeOK := false
+	for _, t := range typeNames {
+		if named.Obj().Name() == t {
+			typeOK = true
+		}
+	}
+	if !typeOK {
+		return false
+	}
+	for _, m := range names {
+		if f.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexRecvExpr extracts the receiver expression of a method call
+// (x.mu.Lock() -> x.mu), or nil for non-selector calls.
+func mutexRecvExpr(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// exprKey renders an ident/selector chain canonically ("q.mu"); other shapes
+// get a position-independent fallback so they at least self-match.
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	default:
+		return "<expr>"
+	}
+}
+
+// exprObject resolves the final object an ident/selector chain denotes: the
+// selected field for q.cond / q.mu, the variable for a plain ident.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.StarExpr:
+		return exprObject(info, x.X)
+	}
+	return nil
+}
+
+// heldNames renders the held set deterministically for messages.
+func heldNames(held heldSet) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	// Insertion-order independence: simple sort.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerNoAlloc verifies functions annotated with a
+//
+//	//repro:noalloc
+//
+// directive (on the line directly above the func declaration, or anywhere in
+// its doc comment) contain no intraprocedural allocation site. The annotated
+// set is the register-tiled matmul kernels and the batched-SVD hot loop whose
+// per-iteration allocation budgets the benchsmoke gate enforces at runtime;
+// this analyzer enforces the same contract at review time, before a
+// regression ever reaches a benchmark run.
+//
+// Flagged sites: make, new, append, composite literals for slice/map types,
+// &CompositeLit, string concatenation producing a new string, fmt-style
+// variadic interface boxing via ...any conversion is NOT modeled (too
+// imprecise); capturing closures (a FuncLit referencing outer variables
+// allocates its environment); and go statements (goroutine stacks).
+// Non-capturing FuncLits and calls through variadic parameters of concrete
+// element type (e.g. arena.Put(a, b)) are allowed: the compiler stack-
+// allocates the argument slice when it does not escape.
+var AnalyzerNoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //repro:noalloc must contain no allocation site",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoAllocDirective(fd) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+}
+
+// hasNoAllocDirective reports a //repro:noalloc line in the doc comment.
+func hasNoAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//repro:noalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos ast.Node, what string) {
+		pass.Reportf("noalloc", pos.Pos(),
+			"%s inside //repro:noalloc function %s: this function is on the allocation-free hot path; preallocate in the caller or workspace",
+			what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && pass.Info.Uses[id] == types.Universe.Lookup(id.Name) {
+				switch id.Name {
+				case "make":
+					report(e, "make")
+				case "new":
+					report(e, "new")
+				case "append":
+					report(e, "append")
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(e)
+			if t == nil {
+				report(e, "composite literal")
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(e, "slice/map composite literal")
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e, "&composite-literal (heap-escaping struct)")
+					return false // don't double-report the literal itself
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" {
+				if t := pass.Info.TypeOf(e); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(e, "string concatenation")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(pass.Info, e) {
+				report(e, "capturing closure (allocates its environment)")
+			}
+			return false // the literal's body is not part of this function's budget
+		case *ast.GoStmt:
+			report(e, "go statement (allocates a goroutine)")
+		}
+		return true
+	})
+}
+
+// capturesOuter reports whether lit references any variable declared outside
+// the literal itself (a capture forces a heap-allocated environment).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches the suppression directive grammar:
+//
+//	//repro:allow(<analyzer>) <reason>
+//
+// The reason is everything after the closing paren; the directive is invalid
+// (and reported) when the reason is empty.
+var allowRe = regexp.MustCompile(`^//repro:allow\(([a-zA-Z0-9_-]+)\)\s*(.*)$`)
+
+// allowDirective is one parsed //repro:allow occurrence.
+type allowDirective struct {
+	pos      token.Pos
+	file     string
+	line     int // line the directive suppresses (its own line, or the one below for standalone comments)
+	analyzer string
+	reason   string
+	used     bool
+	bad      bool // malformed: empty reason or unknown analyzer
+}
+
+// collectAllows parses every //repro:allow directive in files. Malformed
+// directives (missing reason, unknown analyzer name) are reported immediately
+// via report and excluded from matching.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*allowDirective {
+	known := make(map[string]bool)
+	for _, n := range Names() {
+		known[n] = true
+	}
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &allowDirective{
+					pos:      c.Pos(),
+					file:     pos.Filename,
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				}
+				// A standalone comment suppresses the line below it; a
+				// trailing comment suppresses its own line. Distinguish by
+				// whether anything but whitespace precedes the comment.
+				if commentIsTrailing(fset, f, c) {
+					d.line = pos.Line
+				} else {
+					d.line = pos.Line + 1
+				}
+				switch {
+				case !known[d.analyzer]:
+					d.bad = true
+					report(Diagnostic{Pos: c.Pos(), Analyzer: "reprolint",
+						Message: "//repro:allow names unknown analyzer " + strconv(d.analyzer)})
+				case d.reason == "":
+					d.bad = true
+					report(Diagnostic{Pos: c.Pos(), Analyzer: "reprolint",
+						Message: "//repro:allow(" + d.analyzer + ") requires a reason: //repro:allow(" + d.analyzer + ") <why this is safe>"})
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func strconv(s string) string { return `"` + s + `"` }
+
+// commentIsTrailing reports whether c sits on the same line as code (so it
+// suppresses its own line rather than the next).
+func commentIsTrailing(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		if n.Pos() == token.NoPos {
+			return true
+		}
+		// Any node that starts on the comment's line before the comment
+		// makes it a trailing comment.
+		p := fset.Position(n.Pos())
+		if p.Line == cpos.Line && p.Offset < cpos.Offset {
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup, *ast.File:
+			default:
+				trailing = true
+			}
+		}
+		return true
+	})
+	return trailing
+}
+
+// Filter applies //repro:allow directives to diagnostics: suppressed findings
+// are dropped, malformed directives were already reported by collectAllows,
+// and directives that matched nothing become "unused suppression" findings.
+// ran names the analyzers that actually ran (nil means the full suite);
+// directives for analyzers that did not run are left alone rather than
+// reported unused. The returned slice is position-sorted.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	allows := collectAllows(fset, files, func(d Diagnostic) { out = append(out, d) })
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.bad || a.analyzer != d.Analyzer || a.file != p.Filename || a.line != p.Line {
+				continue
+			}
+			a.used = true
+			suppressed = true
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, a := range allows {
+		if ran != nil && !ran[a.analyzer] {
+			continue
+		}
+		if !a.bad && !a.used {
+			out = append(out, Diagnostic{Pos: a.pos, Analyzer: "reprolint",
+				Message: "unused //repro:allow(" + a.analyzer + ") — no " + a.analyzer + " finding on this line; delete the directive"})
+		}
+	}
+	SortDiagnostics(fset, out)
+	return out
+}

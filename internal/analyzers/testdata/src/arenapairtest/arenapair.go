@@ -1,0 +1,156 @@
+// Package arenapairtest is the fixture suite for the arenapair analyzer.
+package arenapairtest
+
+import (
+	"compute"
+)
+
+func fill(m *compute.Dense) {}
+func sum(m *compute.Dense) float64 {
+	t := 0.0
+	for _, v := range m.Data {
+		t += v
+	}
+	return t
+}
+
+// balanced: the straight-line Get/Put pair is clean.
+func balanced(a *compute.Arena) float64 {
+	buf := a.Get(4, 4)
+	fill(buf)
+	s := sum(buf)
+	a.Put(buf)
+	return s
+}
+
+// leakOnEarlyReturn: the error path returns without releasing buf.
+func leakOnEarlyReturn(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n) // want `buf is not returned to the arena on every path`
+	fill(buf)
+	if n > 100 {
+		return 0 // leaks here
+	}
+	s := sum(buf)
+	a.Put(buf)
+	return s
+}
+
+// deferCoversAllPaths: a deferred Put releases on every exit, early returns
+// and panics included.
+func deferCoversAllPaths(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n)
+	defer a.Put(buf)
+	if n > 100 {
+		return 0
+	}
+	if n < 0 {
+		panic("negative")
+	}
+	return sum(buf)
+}
+
+// deferClosureCovers: the Put may sit inside a deferred closure.
+func deferClosureCovers(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n)
+	defer func() {
+		a.Put(buf)
+	}()
+	if n > 100 {
+		return 0
+	}
+	return sum(buf)
+}
+
+// doublePut: the buffer goes back twice; the second Put aliases the backing
+// array to two future Gets.
+func doublePut(a *compute.Arena) {
+	buf := a.Get(8, 8)
+	fill(buf)
+	a.Put(buf)
+	a.Put(buf) // want `already returned to the arena`
+}
+
+// putBothBranches: releasing on each branch of an if is balanced.
+func putBothBranches(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n)
+	if n > 100 {
+		a.Put(buf)
+		return 0
+	}
+	s := sum(buf)
+	a.Put(buf)
+	return s
+}
+
+// leakOneBranch: only one branch releases.
+func leakOneBranch(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n) // want `buf is not returned to the arena on every path`
+	s := 0.0
+	if n > 100 {
+		s = sum(buf)
+		a.Put(buf)
+	}
+	return s
+}
+
+// variadicPut: one Put releasing several buffers is balanced.
+func variadicPut(a *compute.Arena, n int) float64 {
+	t1 := a.Get(n, n)
+	t2 := a.GetUninit(n, n)
+	fill(t1)
+	fill(t2)
+	s := sum(t1) + sum(t2)
+	a.Put(t1, t2)
+	return s
+}
+
+// reassignLeaks: re-Getting into the same variable drops the first buffer.
+func reassignLeaks(a *compute.Arena, n int) {
+	buf := a.Get(n, n)
+	fill(buf)
+	buf = a.Get(n+1, n+1) // want `reassigned from a new Get`
+	fill(buf)
+	a.Put(buf)
+}
+
+// ownershipReturned: returning the buffer transfers ownership to the caller.
+func ownershipReturned(a *compute.Arena, n int) *compute.Dense {
+	buf := a.GetUninit(n, n)
+	fill(buf)
+	return buf
+}
+
+// ownershipStored: storing into a struct field transfers ownership.
+type holder struct{ m *compute.Dense }
+
+func ownershipStored(a *compute.Arena, h *holder) {
+	buf := a.Get(2, 2)
+	h.m = buf
+}
+
+// closureTakesOver: a closure capturing the buffer owns its release.
+func closureTakesOver(a *compute.Arena, n int) func() {
+	buf := a.Get(n, n)
+	return func() {
+		a.Put(buf)
+	}
+}
+
+// loopBalanced: Get and Put inside the same loop iteration is balanced.
+func loopBalanced(a *compute.Arena, ns []int) float64 {
+	total := 0.0
+	for _, n := range ns {
+		buf := a.Get(n, n)
+		fill(buf)
+		total += sum(buf)
+		a.Put(buf)
+	}
+	return total
+}
+
+// suppressedLeak: an intentional leak carries a //repro:allow with a reason.
+func suppressedLeak(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n) //repro:allow(arenapair) buffer intentionally retained for the process lifetime as a warmup pin
+	fill(buf)
+	return sum(buf)
+}

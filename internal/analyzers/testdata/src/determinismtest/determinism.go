@@ -1,0 +1,125 @@
+// Package determinismtest is the fixture suite for the determinism analyzer.
+package determinismtest
+
+import (
+	"math/rand"
+	"time"
+
+	"rng"
+)
+
+var sink float64
+
+// randUse: any qualified math/rand reference is a finding.
+func randUse() float64 {
+	return rand.Float64() // want `use of rand\.Float64`
+}
+
+func randLocal() {
+	r := rand.New(rand.NewSource(1)) // want `use of rand\.New` `use of rand\.NewSource`
+	sink = r.Float64()               // want `use of rand\.Float64`
+}
+
+// timeRecorded: plain recording of wall-clock metadata is allowed.
+func timeRecorded() time.Time {
+	start := time.Now()
+	elapsed := time.Since(start)
+	_ = elapsed
+	return start
+}
+
+type result struct {
+	Iter time.Duration
+}
+
+func timeIntoField(start time.Time) result {
+	return result{Iter: time.Since(start)}
+}
+
+// timeFeedsComputation: a clock value reaching arithmetic, a comparison, a
+// conversion, or a call argument is a finding.
+func timeFeedsComputation(budget time.Duration, start time.Time) bool {
+	if time.Since(start) > budget { // want `time\.Since feeds computation`
+		return true
+	}
+	seed := time.Now().UnixNano() // want `time\.Now feeds computation`
+	_ = seed
+	return false
+}
+
+// mapRangeAccumulate: order-sensitive float accumulation over a map.
+func mapRangeAccumulate(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want `range over map`
+		total += w
+	}
+	return total
+}
+
+// mapRangeAppend: order-sensitive append over a map.
+func mapRangeAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapRangeRNG: consuming RNG draws in map order desynchronizes the stream.
+func mapRangeRNG(m map[int]int, r *rng.RNG) {
+	for k := range m { // want `range over map`
+		_ = k
+		sink = r.Float64()
+	}
+}
+
+// mapRangeBenign: pure per-entry work does not depend on iteration order.
+func mapRangeBenign(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// sliceRangeAccumulate: ranging a slice is ordered; accumulation is fine.
+func sliceRangeAccumulate(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// suppressed: the //repro:allow directive absorbs the finding.
+func suppressed(m map[string]struct{}) []string {
+	var names []string
+	//repro:allow(determinism) names is sorted by the caller before use
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// unusedAllow: a directive matching no finding is itself a finding.
+func unusedAllow(xs []float64) float64 {
+	total := 0.0
+	// want-next `unused //repro:allow`
+	//repro:allow(determinism) nothing to suppress on a slice range
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// reasonless: a directive without a reason is rejected, and does not
+// suppress the finding on the next line.
+func reasonless(m map[string]float64) float64 {
+	total := 0.0
+	// want-next `requires a reason`
+	//repro:allow(determinism)
+	for _, w := range m { // want `range over map`
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Package noalloctest is the fixture suite for the noalloc analyzer.
+package noalloctest
+
+var sink []float64
+
+func consume(func()) {}
+
+// axpyKernel is the shape the annotation exists for: pure index arithmetic
+// over preallocated slices.
+//
+//repro:noalloc
+func axpyKernel(dst, x []float64, a float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// makeInKernel allocates a scratch slice per call.
+//
+//repro:noalloc
+func makeInKernel(n int) {
+	buf := make([]float64, n) // want `make inside //repro:noalloc function makeInKernel`
+	sink = buf
+}
+
+// newInKernel heap-allocates a struct per call.
+//
+//repro:noalloc
+func newInKernel() *struct{ x float64 } {
+	return new(struct{ x float64 }) // want `new inside //repro:noalloc function newInKernel`
+}
+
+// appendInKernel grows a slice per call.
+//
+//repro:noalloc
+func appendInKernel(xs []float64, v float64) []float64 {
+	return append(xs, v) // want `append inside //repro:noalloc function appendInKernel`
+}
+
+// sliceLitInKernel builds a slice literal per call.
+//
+//repro:noalloc
+func sliceLitInKernel(a, b float64) float64 {
+	xs := []float64{a, b} // want `slice/map composite literal`
+	return xs[0] + xs[1]
+}
+
+// escapingStructInKernel takes the address of a composite literal.
+//
+//repro:noalloc
+func escapingStructInKernel() *struct{ x float64 } {
+	return &struct{ x float64 }{x: 1} // want `&composite-literal`
+}
+
+// capturingClosureInKernel allocates a closure environment.
+//
+//repro:noalloc
+func capturingClosureInKernel(n int) {
+	consume(func() { // want `capturing closure`
+		n++
+	})
+}
+
+// nonCapturingClosureAllowed: a closure over nothing costs nothing.
+//
+//repro:noalloc
+func nonCapturingClosureAllowed() {
+	consume(func() {})
+}
+
+// goInKernel launches a goroutine per call.
+//
+//repro:noalloc
+func goInKernel() {
+	go consume(nil) // want `go statement`
+}
+
+// structValueAllowed: a plain (non-escaping) struct value literal is fine.
+//
+//repro:noalloc
+func structValueAllowed(a float64) float64 {
+	p := struct{ x, y float64 }{x: a, y: a}
+	return p.x + p.y
+}
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+// coldPathSuppressed mirrors the FactorBatch shape: one documented cold-path
+// allocation inside an otherwise allocation-free function.
+//
+//repro:noalloc
+func coldPathSuppressed(ws []float64, n int) []float64 {
+	if ws == nil {
+		ws = make([]float64, n) //repro:allow(noalloc) cold fallback when the caller passes no workspace
+	}
+	return ws[:n]
+}

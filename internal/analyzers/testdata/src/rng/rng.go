@@ -1,0 +1,15 @@
+// Package rng is a miniature stand-in for repro/internal/rng used by the
+// determinism analyzer fixtures.
+package rng
+
+// RNG mirrors the deterministic generator's draw surface.
+type RNG struct{ s uint64 }
+
+func (r *RNG) Uint64() uint64           { r.s++; return r.s }
+func (r *RNG) Float64() float64         { return float64(r.Uint64()) }
+func (r *RNG) Intn(n int) int           { return int(r.Uint64()) % n }
+func (r *RNG) Norm() float64            { return r.Float64() }
+func (r *RNG) NormSlice(dst []float64)  {}
+func (r *RNG) UniformSlice(d []float64) {}
+func (r *RNG) Perm(n int) []int         { return make([]int, n) }
+func (r *RNG) Split() *RNG              { return &RNG{s: r.Uint64()} }

@@ -89,6 +89,8 @@ func (ws *BatchWorkspace) reserve(as []*mat.Dense) {
 // load/sweep/extract core — so for every problem p the outputs are
 // bit-identical to a sequential FactorInto(as[p], ...) call, for every
 // Runner width including none.
+//
+//repro:noalloc
 func FactorBatch(as, us []*mat.Dense, ss [][]float64, vs []*mat.Dense, rn mat.Runner, ws *BatchWorkspace) {
 	k := len(as)
 	if len(us) != k || len(ss) != k || len(vs) != k {
@@ -107,7 +109,7 @@ func FactorBatch(as, us []*mat.Dense, ss [][]float64, vs []*mat.Dense, rn mat.Ru
 		}
 	}
 	if ws == nil {
-		ws = new(BatchWorkspace)
+		ws = new(BatchWorkspace) //repro:allow(noalloc) cold nil-workspace fallback; hot loops pass a warmed ws and never reach this
 	}
 	ws.reserve(as)
 
@@ -117,6 +119,7 @@ func FactorBatch(as, us []*mat.Dense, ss [][]float64, vs []*mat.Dense, rn mat.Ru
 		ws.runPartition(as, us, ss, vs, 0, k)
 		return
 	}
+	//repro:allow(noalloc) one closure per parallel batch call, amortized over the whole fused sweep; the serial path above avoids it
 	rn.ParallelRanges(k, func(lo, hi int) {
 		ws.runPartition(as, us, ss, vs, lo, hi)
 	})
@@ -125,6 +128,8 @@ func FactorBatch(as, us []*mat.Dense, ss [][]float64, vs []*mat.Dense, rn mat.Ru
 // runPartition advances problems [lo, hi) from load through fused lockstep
 // sweeps to extraction. Exactly one worker owns a partition, so the shared
 // workspace slices are touched without synchronization.
+//
+//repro:noalloc
 func (ws *BatchWorkspace) runPartition(as, us []*mat.Dense, ss [][]float64, vs []*mat.Dense, lo, hi int) {
 	for p := lo; p < hi; p++ {
 		jacobiLoad(as[p], ws.wcols[p], ws.vcols[p])

@@ -84,6 +84,7 @@ func MustLookup(name string) (Method, error) {
 	known := MethodNames()
 	registryMu.RLock()
 	aliases := make([]string, 0, len(registry))
+	//repro:allow(determinism) collection order does not matter: aliases is sorted immediately below
 	for alias := range registry {
 		aliases = append(aliases, alias)
 	}

@@ -28,6 +28,13 @@
 #     waiting longer than the low-priority backlog they are meant to
 #     overtake).
 #
+# Besides the human-readable log, every budget check emits one machine-
+# readable JSON line on stdout of the form
+#   {"gate":"benchsmoke","check":"...","bench":"...","value":V,"budget":B,"pass":true|false}
+# so CI tooling can consume the gate results without scraping prose (the
+# same convention cmd/reprolint -json uses). Presence checks for the
+# guarded benchmark set emit value 1 (seen) or 0 (missing) against budget 1.
+#
 # Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch]
 set -eu
 
@@ -44,6 +51,11 @@ function metric(name,   i) {
     for (i = 2; i <= NF; i++) if ($i == name) return $(i - 1)
     return ""
 }
+function gatejson(check, bench, value, budgetv, ok) {
+    # one machine-readable JSON line per budget check (see header comment)
+    printf "{\"gate\":\"benchsmoke\",\"check\":\"%s\",\"bench\":\"%s\",\"value\":%.4f,\"budget\":%.4f,\"pass\":%s}\n", \
+        check, bench, value, budgetv, (ok ? "true" : "false")
+}
 function require(val, name) {
     if (val == "") {
         printf "benchsmoke: could not parse %s from %s\n", name, $1 > "/dev/stderr"
@@ -55,6 +67,7 @@ $1 ~ /^BenchmarkDPar2(-[0-9]+)?$/ {
     seen["BenchmarkDPar2"] = 1
     fit = require(metric("fitness"), "fitness")
     printf "benchsmoke: %s fitness %.4f (floor 0.95)\n", $1, fit
+    gatejson("fitness-floor", "BenchmarkDPar2", fit, 0.95, fit >= 0.95)
     if (fit < 0.95) {
         printf "benchsmoke: FAIL — %s fitness %.4f below 0.95\n", $1, fit > "/dev/stderr"
         bad = 1
@@ -70,6 +83,7 @@ $1 ~ /^BenchmarkDPar2(IterationAllocs|TallSlice)(-[0-9]+)?$/ {
     }
     per = allocs / iters
     printf "benchsmoke: %s %.1f allocs per ALS iteration (budget %d)\n", $1, per, budget
+    gatejson("allocs-per-iter", $1, per, budget, per <= budget)
     if (per > budget) {
         printf "benchsmoke: FAIL — %s regressed above %d allocs per ALS iteration\n", $1, budget > "/dev/stderr"
         bad = 1
@@ -80,6 +94,7 @@ $1 ~ /^BenchmarkAbsorb\// {
     seen["BenchmarkAbsorb/" name] = 1
     allocs = require(metric("allocs/op"), "allocs/op")
     printf "benchsmoke: %s %.0f allocs per absorbed batch (budget %d)\n", $1, allocs, absorb_budget
+    gatejson("allocs-per-absorb", "BenchmarkAbsorb/" name, allocs, absorb_budget, allocs <= absorb_budget)
     if (allocs > absorb_budget) {
         printf "benchsmoke: FAIL — %s regressed above %d allocs per absorbed batch\n", $1, absorb_budget > "/dev/stderr"
         bad = 1
@@ -90,6 +105,7 @@ $1 ~ /^BenchmarkFactorBatch\// {
     seen["BenchmarkFactorBatch/" name] = 1
     allocs = require(metric("allocs/op"), "allocs/op")
     printf "benchsmoke: %s %.0f allocs per batched SVD sweep (budget %d)\n", $1, allocs, batch_budget
+    gatejson("allocs-per-batch", "BenchmarkFactorBatch/" name, allocs, batch_budget, allocs <= batch_budget)
     if (allocs > batch_budget) {
         printf "benchsmoke: FAIL — %s regressed above %d allocs per batched SVD sweep\n", $1, batch_budget > "/dev/stderr"
         bad = 1
@@ -100,6 +116,8 @@ $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
     hi = require(metric("hi-qwait-ms"), "hi-qwait-ms")
     lo = require(metric("lo-qwait-ms"), "lo-qwait-ms")
     printf "benchsmoke: %s hi-qwait %.2fms lo-qwait %.2fms (hi budget %dms)\n", $1, hi, lo, qwait_budget
+    gatejson("hi-qwait", "BenchmarkEngineContendedQueue", hi, qwait_budget, hi <= qwait_budget)
+    gatejson("priority-inversion", "BenchmarkEngineContendedQueue", hi, lo, hi <= lo)
     if (hi > qwait_budget) {
         printf "benchsmoke: FAIL — high-priority queue wait %.2fms above %dms budget\n", hi, qwait_budget > "/dev/stderr"
         bad = 1
@@ -114,7 +132,9 @@ END {
     # a rename or an empty run is a hard failure, not a silent skip.
     n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue", want, " ")
     for (i = 1; i <= n; i++) {
-        if (!(want[i] in seen)) {
+        present = (want[i] in seen)
+        gatejson("present", want[i], present ? 1 : 0, 1, present)
+        if (!present) {
             printf "benchsmoke: expected benchmark %s missing from output\n", want[i] > "/dev/stderr"
             missing = 1
         }

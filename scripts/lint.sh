@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Invariant lint gate: go vet plus the repository's own reprolint analyzer
+# suite (determinism, arenapair, ctxloop, noalloc, lockhold — see
+# docs/INVARIANTS.md for the catalogue and the //repro:allow suppression
+# grammar). Hard-fails on any unsuppressed finding, on reason-less or stale
+# suppressions, and on a reprolint build failure — a lint gate that cannot
+# build must never pass vacuously.
+#
+# Usage: scripts/lint.sh [packages...]     (default ./...)
+# Set REPROLINT_JSON=1 for one JSON object per finding (machine-readable,
+# matching the benchsmoke gate convention).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pkgs="${*:-./...}"
+
+echo "lint: go vet $pkgs"
+# shellcheck disable=SC2086  # pkgs is an intentional word list
+go vet $pkgs
+
+echo "lint: building cmd/reprolint"
+go build -o /tmp/reprolint.$$ ./cmd/reprolint
+trap 'rm -f /tmp/reprolint.$$' EXIT
+
+flags=""
+if [ "${REPROLINT_JSON:-0}" = "1" ]; then
+    flags="-json"
+fi
+
+echo "lint: reprolint $pkgs"
+# shellcheck disable=SC2086
+/tmp/reprolint.$$ $flags $pkgs
+echo "lint: clean"

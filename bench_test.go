@@ -221,6 +221,39 @@ func BenchmarkEngineContendedQueue(b *testing.B) {
 	b.ReportMetric(float64(lo.MeanQueueWait().Microseconds())/1e3, "lo-qwait-ms")
 }
 
+// BenchmarkCacheHit guards the content-addressed result cache's hot path: a
+// repeated Decompose on an Engine with WithResultCache is served from disk —
+// key derivation (one sha256 pass over the serialized tensor), one cached-file
+// read, checksum verification, and result decode, but never the method.
+// scripts/benchsmoke.sh budgets both allocs/op and latency; the counter check
+// below makes a silently-bypassed cache a hard failure rather than a bench of
+// the wrong path.
+func BenchmarkCacheHit(b *testing.B) {
+	g := rng.New(50)
+	ten := datagen.LowRank(g, []int{120, 140, 100, 130}, 60, 8, 0.02)
+	base := benchConfig(8)
+	base.MaxIters = 6
+	base.Tol = 0
+	eng := NewEngine(WithBaseConfig(base), WithStateDir(b.TempDir()), WithResultCache(1<<28))
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.Decompose(ctx, ten); err != nil { // warm: the one miss
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Decompose(ctx, ten); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses := eng.CacheCounters()
+	if misses != 1 || hits < uint64(b.N) {
+		b.Fatalf("cache did not serve the loop: %d hits, %d misses", hits, misses)
+	}
+}
+
 // --- Fig. 1: total running time per method (trade-off) -------------------
 
 func BenchmarkFig1TradeOff(b *testing.B) {

@@ -52,6 +52,9 @@ func main() {
 		saveFactors = flag.String("save-factors", "", "write the factor matrices to this file (binary DPF2 format)")
 		saveTensor  = flag.String("save-tensor", "", "write the (generated/loaded) tensor to this file (binary DPT2 format)")
 		loadBinary  = flag.String("load-tensor", "", "read a binary DPT2 tensor file (overrides -data and -input)")
+		checkpoint  = flag.String("checkpoint", "", "stream the decomposition and write a resumable checkpoint to this file (binary DPC2 format)")
+		resume      = flag.String("resume", "", "resume a streamed decomposition from this checkpoint and absorb the input tensor as the next batch")
+		cacheDir    = flag.String("cache", "", "state directory: enables the content-addressed result cache (repeat runs with identical input and knobs are served from disk)")
 	)
 	flag.Parse()
 
@@ -80,8 +83,14 @@ func main() {
 
 	// One Engine (worker pool of width -threads, via the single <=0=serial
 	// clamping rule) runs whichever registered method -method names; the
-	// registry resolves the aliases this flag has always accepted.
-	eng := repro.NewEngine(repro.WithEngineThreads(*threads))
+	// registry resolves the aliases this flag has always accepted. -cache
+	// additionally gives the Engine a state directory with a bounded
+	// content-addressed result cache.
+	engOpts := []repro.EngineOption{repro.WithEngineThreads(*threads)}
+	if *cacheDir != "" {
+		engOpts = append(engOpts, repro.WithStateDir(*cacheDir), repro.WithResultCache(1<<30))
+	}
+	eng := repro.NewEngine(engOpts...)
 	defer eng.Close()
 
 	opts := []repro.Option{
@@ -94,7 +103,12 @@ func main() {
 	if *verbose {
 		opts = append(opts, repro.WithConvergenceTrace())
 	}
-	res, err := eng.Decompose(ctx, ten, opts...)
+	var res *repro.Result
+	if *checkpoint != "" || *resume != "" {
+		res, err = runStreamed(ctx, eng, ten, opts, *resume, *checkpoint)
+	} else {
+		res, err = eng.Decompose(ctx, ten, opts...)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "dpar2: interrupted")
@@ -102,6 +116,10 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "dpar2:", err)
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		hits, misses := eng.CacheCounters()
+		fmt.Fprintf(os.Stderr, "result cache  %d hit(s), %d miss(es)\n", hits, misses)
 	}
 
 	fmt.Printf("method        %s\n", *method)
@@ -132,6 +150,38 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "factors written to %s\n", *saveFactors)
 	}
+}
+
+// runStreamed runs the decomposition through the streaming DPar2 path so it
+// can be checkpointed and resumed: -resume restores the saved stream and
+// absorbs the input tensor as its next batch (rank/seed/iteration knobs come
+// from the checkpoint, not the flags); otherwise a fresh stream starts on the
+// input. -checkpoint then persists the stream atomically for a later -resume.
+func runStreamed(ctx context.Context, eng *repro.Engine, ten *tensor.Irregular, opts []repro.Option, resume, checkpoint string) (*repro.Result, error) {
+	var st *repro.StreamingDPar2
+	var err error
+	if resume != "" {
+		st, err = eng.ResumeStream(ctx, resume)
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		if err := st.AbsorbCtx(ctx, ten.Slices); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "resumed from %s: stream now holds %d slices\n", resume, st.K())
+	} else {
+		st, err = eng.NewStream(ctx, ten, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if checkpoint != "" {
+		if err := eng.SaveStream(checkpoint, st); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", checkpoint)
+	}
+	return st.Result(), nil
 }
 
 // loadTensor resolves the input tensor: CSV directory, a named Table II

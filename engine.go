@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/admission"
 	"repro/internal/compute"
 	"repro/internal/parafac2"
+	"repro/internal/state"
 )
 
 // ErrEngineClosed is returned (or delivered as JobResult.Err) by every
@@ -76,6 +79,16 @@ type Engine struct {
 	ownPool bool
 	base    Config
 
+	// stateDir is the durable-state root (WithStateDir): relative
+	// SaveStream/ResumeStream paths resolve under it and the result cache
+	// lives in its "cache" subdirectory. Empty = no durable state.
+	stateDir string
+	// cache is the content-addressed result cache (WithResultCache), nil
+	// when caching is off. metrics is the WithEngineMetrics hook, kept so
+	// cache hits/misses can reach a CacheMetrics implementation.
+	cache   *state.Cache
+	metrics EngineMetrics
+
 	// sched is the admission-controlled job queue: a bounded priority queue
 	// (higher Job.Priority pops first, FIFO within a class) with per-tenant
 	// quotas and the metrics hook. It replaces the plain FIFO channel of the
@@ -113,6 +126,9 @@ type engineSettings struct {
 	quota     TenantQuota
 	overrides map[string]TenantQuota
 	metrics   EngineMetrics
+
+	stateDir   string
+	cacheBytes int64
 }
 
 // EngineOption configures NewEngine.
@@ -231,6 +247,42 @@ func WithEngineMetrics(m EngineMetrics) EngineOption {
 	}
 }
 
+// WithStateDir roots the Engine's durable state at dir: relative
+// SaveStream/ResumeStream paths resolve under it, and WithResultCache stores
+// its entries in its "cache" subdirectory. The directory is created if
+// missing. dir must be non-empty; an empty dir panics (it would silently
+// mean "no durable state").
+func WithStateDir(dir string) EngineOption {
+	return func(s *engineSettings) {
+		if dir == "" {
+			panic("repro: WithStateDir(\"\"): directory must be non-empty")
+		}
+		s.stateDir = dir
+	}
+}
+
+// WithResultCache enables the content-addressed result cache: Decompose and
+// Submit consult it before running a method and populate it after a
+// successful run, keyed by a sha256 of the tensor's content plus every
+// deterministic knob (method, rank, seed, iteration budget, sketch
+// parameters — see docs/DURABILITY.md). Entries are persisted atomically
+// under the WithStateDir root — which must also be configured, or NewEngine
+// panics — and evicted least-recently-used beyond maxBytes of payload.
+// maxBytes must be positive; zero or negative panics.
+//
+// Lookups with a Progress callback or a convergence trace bypass the cache
+// (their side effects must run). A cache hit restores the factors plus
+// Iters/Fitness/FitnessKind/PreprocessedBytes; timings are zero, as in any
+// deserialized result.
+func WithResultCache(maxBytes int64) EngineOption {
+	return func(s *engineSettings) {
+		if maxBytes <= 0 {
+			panic(fmt.Sprintf("repro: WithResultCache(%d): byte bound must be positive", maxBytes))
+		}
+		s.cacheBytes = maxBytes
+	}
+}
+
 // NewEngine builds an Engine. With no options it owns a pool of width
 // DefaultConfig().Threads (the paper's 6), a base Config of DefaultConfig(),
 // a Submit queue of depth 32, 4 concurrent job workers, no tenant quotas,
@@ -247,7 +299,22 @@ func NewEngine(opts ...EngineOption) *Engine {
 		}
 	}
 
-	e := &Engine{base: s.base}
+	e := &Engine{base: s.base, stateDir: s.stateDir, metrics: s.metrics}
+	if s.stateDir != "" {
+		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
+			panic(fmt.Sprintf("repro: WithStateDir(%q): %v", s.stateDir, err))
+		}
+	}
+	if s.cacheBytes > 0 {
+		if s.stateDir == "" {
+			panic("repro: WithResultCache requires WithStateDir")
+		}
+		cache, err := state.OpenCache(filepath.Join(s.stateDir, "cache"), s.cacheBytes)
+		if err != nil {
+			panic(fmt.Sprintf("repro: WithResultCache: %v", err))
+		}
+		e.cache = cache
+	}
 	switch {
 	case s.pool != nil:
 		e.pool = s.pool
@@ -360,13 +427,15 @@ func (e *Engine) Decompose(ctx context.Context, t *Irregular, opts ...Option) (*
 	if e.isClosed() {
 		return nil, ErrEngineClosed
 	}
-	return e.decompose(ctx, t, opts)
+	return e.decompose(ctx, t, opts, "")
 }
 
 // decompose is Decompose without the closed check — the path drained jobs
 // take after Close has begun. prepare would re-reject those, so its closed
 // check is skipped by construction: a drained job was accepted before Close.
-func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option) (*Result, error) {
+// tenant attributes cache hit/miss events (Decompose passes the default
+// bucket, runJob the job's tenant).
+func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option, tenant string) (*Result, error) {
 	if t == nil {
 		return nil, errors.New("repro: Decompose with nil tensor")
 	}
@@ -374,7 +443,19 @@ func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option) (*R
 	if err != nil {
 		return nil, err
 	}
-	return m.Decompose(ctx, t, spec.cfg)
+	key, cacheable := e.resultCacheKey(m, t, spec.cfg)
+	if cacheable {
+		if res, ok := e.cacheLookup(key); ok {
+			e.noteCache(tenant, true)
+			return res, nil
+		}
+		e.noteCache(tenant, false)
+	}
+	res, err := m.Decompose(ctx, t, spec.cfg)
+	if err == nil && cacheable {
+		e.cacheStore(key, res)
+	}
+	return res, err
 }
 
 // Compress runs only the two-stage compression on the shared pool, for
@@ -532,6 +613,6 @@ func (e *Engine) runJob(pj pendingJob) JobResult {
 	if err := pj.ctx.Err(); err != nil {
 		return JobResult{Tag: pj.job.Tag, Err: err}
 	}
-	res, err := e.decompose(pj.ctx, pj.job.Tensor, pj.job.Options)
+	res, err := e.decompose(pj.ctx, pj.job.Tensor, pj.job.Options, pj.job.Tenant)
 	return JobResult{Tag: pj.job.Tag, Result: res, Err: err}
 }

@@ -10,6 +10,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro"
@@ -52,6 +55,17 @@ func main() {
 	// how much history the stream carries. A failed absorb is retryable:
 	// the stream (RNG included) is untouched, and the retry is
 	// bit-identical to a run that was never interrupted.
+	// Streams are durable: SaveStream writes a complete, atomically-replaced
+	// checkpoint (state, factors, RNG), and ResumeStream picks the stream
+	// back up in another process as if nothing happened. We checkpoint
+	// mid-stream here and prove the resumed copy is bit-identical below.
+	ckptDir, err := os.MkdirTemp("", "streaming-ckpt-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	ckpt := filepath.Join(ckptDir, "stream.dpc2")
+
 	for lo := 12; lo < 48; lo += 6 {
 		batchStart := time.Now()
 		if err := stream.AbsorbCtx(ctx, full.Slices[lo:lo+6]); err != nil {
@@ -60,7 +74,29 @@ func main() {
 		fmt.Printf("absorb 6 : K=%2d  fitness(all seen)=%.4f  (%v, %d warm iters)\n",
 			stream.K(), fitnessOverSeen(full, stream),
 			time.Since(batchStart).Round(time.Millisecond), stream.Result().Iters)
+		if stream.K() == 30 {
+			if err := eng.SaveStream(ckpt, stream); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("           checkpointed at K=%d\n", stream.K())
+		}
 	}
+
+	// Resume the mid-stream checkpoint and feed it the batches it missed:
+	// the catch-up is bit-identical to the stream that never stopped.
+	resumed, err := eng.ResumeStream(ctx, ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for lo := 30; lo < 48; lo += 6 {
+		if err := resumed.AbsorbCtx(ctx, full.Slices[lo:lo+6]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	identical := math.Float64bits(resumed.Result().Fitness) == math.Float64bits(stream.Result().Fitness) &&
+		resumed.Result().H.EqualApprox(stream.Result().H, 0)
+	fmt.Printf("\nresumed from K=30 checkpoint, caught up to K=%d: bit-identical=%v\n",
+		resumed.K(), identical)
 
 	// The refresh reports a compressed-space fitness (exact against the
 	// compressed approximation); FitnessKind tells it apart from the true

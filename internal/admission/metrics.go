@@ -36,6 +36,17 @@ type Metrics interface {
 	JobCancelled(tenant string, priority int, queueWait time.Duration)
 }
 
+// CacheMetrics is the optional extension of Metrics for observing the
+// Engine's content-addressed result cache. A Metrics implementation that
+// also implements CacheMetrics receives a callback per cache lookup — hits
+// serve a repeated decomposition without running the method; misses ran it
+// (and populated the cache on success). The queue itself never calls these;
+// the Engine drives them around Decompose/runJob.
+type CacheMetrics interface {
+	CacheHit(tenant string)
+	CacheMiss(tenant string)
+}
+
 // NopMetrics is the no-op hook the queue uses when none is configured.
 type NopMetrics struct{}
 
@@ -67,6 +78,9 @@ type TenantStats struct {
 
 	QueueWait time.Duration // total time started+cancelled tickets sat queued
 	RunTime   time.Duration // total pop-to-Finish time of finished tickets
+
+	CacheHits   int64 // result-cache hits (method never invoked)
+	CacheMisses int64 // result-cache misses (method ran)
 }
 
 // MeanQueueWait is the average time a started or cancelled ticket spent
@@ -144,6 +158,20 @@ func (s *Stats) JobCancelled(tenant string, priority int, queueWait time.Duratio
 	t.QueueWait += queueWait
 }
 
+// CacheHit implements CacheMetrics.
+func (s *Stats) CacheHit(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).CacheHits++
+}
+
+// CacheMiss implements CacheMetrics.
+func (s *Stats) CacheMiss(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).CacheMisses++
+}
+
 // MaxDepth reports the deepest the queue has been at any admit.
 func (s *Stats) MaxDepth() int {
 	s.mu.Lock()
@@ -179,15 +207,16 @@ func (s *Stats) Snapshot() []TenantStats {
 func (s *Stats) String() string {
 	snap := s.Snapshot()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %7s %11s %11s\n",
-		"tenant", "admitted", "rejected", "completed", "failed", "cancel", "mean-wait", "mean-run")
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %7s %7s %7s %11s %11s\n",
+		"tenant", "admitted", "rejected", "completed", "failed", "cancel", "c-hit", "c-miss", "mean-wait", "mean-run")
 	for _, t := range snap {
 		name := t.Tenant
 		if name == "" {
 			name = "(default)"
 		}
-		fmt.Fprintf(&b, "%-12s %9d %9d %9d %9d %7d %11v %11v\n",
+		fmt.Fprintf(&b, "%-12s %9d %9d %9d %9d %7d %7d %7d %11v %11v\n",
 			name, t.Admitted, t.Rejected, t.Completed, t.Failed, t.Cancelled,
+			t.CacheHits, t.CacheMisses,
 			t.MeanQueueWait().Round(time.Microsecond),
 			t.MeanRunTime().Round(time.Microsecond))
 	}

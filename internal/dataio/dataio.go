@@ -18,11 +18,20 @@
 // Q_k = A_k Z_k P_kᵀ — preserving laziness (and the smaller A-plus-R×R
 // footprint) across a save/load. Version-1 result files (the pre-factored
 // dense layout, without the qform field) are still read.
+//
+// Both writers append a sha256 checksum trailer (see internal/state) after
+// the payload, and both readers verify it: silent corruption surfaces as a
+// *CorruptError instead of garbage factors. Files written before the trailer
+// existed — payload ending exactly at EOF — are still accepted. SaveTensor
+// and SaveResult replace their target atomically (write-temp, fsync, rename),
+// so a crash mid-save never leaves a truncated file behind; see
+// docs/DURABILITY.md for the full contract.
 package dataio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -30,6 +39,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/parafac2"
+	"repro/internal/state"
 	"repro/internal/tensor"
 )
 
@@ -46,76 +56,116 @@ const (
 
 	// maxDim guards against corrupt headers allocating absurd buffers.
 	maxDim = 1 << 32
+	// maxElems bounds any single matrix's element count, keeping the
+	// rows-times-cols product far from integer overflow.
+	maxElems = 1 << 40
 )
 
-// WriteTensor serializes t to w.
+// CorruptError reports a payload that could not be decoded: truncated,
+// bit-flipped, failing its checksum, or structurally inconsistent. All decode
+// failures from ReadTensor/ReadResult (and the Load* wrappers) are
+// *CorruptError; errors.Is(err, state.ErrChecksum) additionally identifies
+// checksum-trailer mismatches.
+type CorruptError struct {
+	What string // which file kind / field was being decoded
+	Err  error  // underlying cause, possibly nil
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err == nil {
+		return "dataio: corrupt " + e.What
+	}
+	return "dataio: corrupt " + e.What + ": " + e.Err.Error()
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+func corrupt(what string, err error) error {
+	return &CorruptError{What: what, Err: err}
+}
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{What: fmt.Sprintf(format, args...)}
+}
+
+// WriteTensor serializes t to w, followed by a checksum trailer.
 func WriteTensor(w io.Writer, t *tensor.Irregular) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(tensorMagic); err != nil {
+	sw := state.NewSumWriter(bw)
+	if _, err := sw.Write([]byte(tensorMagic)); err != nil {
 		return err
 	}
 	header := []uint64{tensorVersion, uint64(t.K()), uint64(t.J)}
 	for _, s := range t.Slices {
 		header = append(header, uint64(s.Rows))
 	}
-	if err := writeUints(bw, header); err != nil {
+	if err := writeUints(sw, header); err != nil {
 		return err
 	}
 	for _, s := range t.Slices {
-		if err := writeFloats(bw, s.Data); err != nil {
+		if err := writeFloats(sw, s.Data); err != nil {
 			return err
 		}
+	}
+	if err := sw.WriteTrailer(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadTensor deserializes a tensor written by WriteTensor.
+// ReadTensor deserializes a tensor written by WriteTensor, verifying the
+// checksum trailer when present (legacy files without one are accepted).
+// Decode failures are reported as *CorruptError.
 func ReadTensor(r io.Reader) (*tensor.Irregular, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	if err := expectMagic(br, tensorMagic); err != nil {
+	sr := state.NewSumReader(br)
+	if err := expectMagic(sr, tensorMagic); err != nil {
 		return nil, err
 	}
-	head, err := readUints(br, 3)
+	head, err := readUints(sr, 3)
 	if err != nil {
-		return nil, err
+		return nil, corrupt("tensor header", err)
 	}
 	if head[0] != tensorVersion {
-		return nil, fmt.Errorf("dataio: unsupported tensor version %d", head[0])
+		return nil, corruptf("tensor: unsupported version %d", head[0])
 	}
 	k, j := head[1], head[2]
 	if k == 0 || j == 0 || k > maxDim || j > maxDim {
-		return nil, fmt.Errorf("dataio: corrupt header (K=%d, J=%d)", k, j)
+		return nil, corruptf("tensor header (K=%d, J=%d)", k, j)
 	}
-	rows, err := readUints(br, int(k))
+	rows, err := readUints(sr, int(k))
 	if err != nil {
-		return nil, err
+		return nil, corrupt("tensor shape table", err)
 	}
 	slices := make([]*mat.Dense, k)
 	for i := range slices {
 		ik := rows[i]
-		if ik == 0 || ik > maxDim {
-			return nil, fmt.Errorf("dataio: corrupt slice height %d", ik)
+		if ik == 0 || ik > maxDim || ik > maxElems/j {
+			return nil, corruptf("tensor slice height %d", ik)
 		}
-		m := mat.New(int(ik), int(j))
-		if err := readFloats(br, m.Data); err != nil {
-			return nil, err
+		data, err := readFloatsAlloc(sr, ik*j)
+		if err != nil {
+			return nil, corrupt("tensor slice payload", err)
 		}
-		slices[i] = m
+		slices[i] = mat.NewFromData(int(ik), int(j), data)
 	}
-	return tensor.NewIrregular(slices)
+	if err := verifyTrailer(sr, "tensor"); err != nil {
+		return nil, err
+	}
+	t, err := tensor.NewIrregular(slices)
+	if err != nil {
+		return nil, corrupt("tensor", err)
+	}
+	return t, nil
 }
 
-// SaveTensor writes t to the named file.
+// SaveTensor writes t to the named file atomically: the payload lands in a
+// temp file that is fsynced and renamed over path, so a crash mid-save leaves
+// the previous file (or no file) intact, never a truncated one.
 func SaveTensor(path string, t *tensor.Irregular) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteTensor(f, t); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return state.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteTensor(w, t)
+	})
 }
 
 // LoadTensor reads a tensor from the named file.
@@ -128,13 +178,14 @@ func LoadTensor(path string) (*tensor.Irregular, error) {
 	return ReadTensor(f)
 }
 
-// WriteResult serializes the factor matrices of a decomposition. A factored
-// result (DPar2's lazy Q_k = A_k Z_k P_kᵀ) is written in factored form —
-// the compact representation round-trips without ever materializing the
-// dense slices; eager results are written dense.
+// WriteResult serializes the factor matrices of a decomposition, followed by
+// a checksum trailer. A factored result (DPar2's lazy Q_k = A_k Z_k P_kᵀ) is
+// written in factored form — the compact representation round-trips without
+// ever materializing the dense slices; eager results are written dense.
 func WriteResult(w io.Writer, res *parafac2.Result) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(resultMagic); err != nil {
+	sw := state.NewSumWriter(bw)
+	if _, err := sw.Write([]byte(resultMagic)); err != nil {
 		return err
 	}
 	k := res.K()
@@ -152,155 +203,167 @@ func WriteResult(w io.Writer, res *parafac2.Result) error {
 	for i := 0; i < k; i++ {
 		header = append(header, uint64(res.SliceRows(i)))
 	}
-	if err := writeUints(bw, header); err != nil {
+	if err := writeUints(sw, header); err != nil {
 		return err
 	}
-	if err := writeFloats(bw, res.H.Data); err != nil {
+	if err := writeFloats(sw, res.H.Data); err != nil {
 		return err
 	}
-	if err := writeFloats(bw, res.V.Data); err != nil {
+	if err := writeFloats(sw, res.V.Data); err != nil {
 		return err
 	}
 	for _, s := range res.S {
-		if err := writeFloats(bw, s); err != nil {
+		if err := writeFloats(sw, s); err != nil {
 			return err
 		}
 	}
 	if factored {
 		for _, m := range z {
-			if err := writeFloats(bw, m.Data); err != nil {
+			if err := writeFloats(sw, m.Data); err != nil {
 				return err
 			}
 		}
 		for _, m := range p {
-			if err := writeFloats(bw, m.Data); err != nil {
+			if err := writeFloats(sw, m.Data); err != nil {
 				return err
 			}
 		}
 		for _, m := range a {
-			if err := writeFloats(bw, m.Data); err != nil {
+			if err := writeFloats(sw, m.Data); err != nil {
 				return err
 			}
 		}
-		return bw.Flush()
-	}
-	for i := 0; i < k; i++ {
-		if err := writeFloats(bw, res.Qk(i).Data); err != nil {
-			return err
+	} else {
+		for i := 0; i < k; i++ {
+			if err := writeFloats(sw, res.Qk(i).Data); err != nil {
+				return err
+			}
 		}
+	}
+	if err := sw.WriteTrailer(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadResult deserializes factor matrices written by WriteResult. Only the
-// factors are restored (timings and fitness are run artifacts, not state —
-// FitnessKind on a loaded result is FitnessUnset). A factored payload is
-// restored in factored form: the loaded result materializes Q_k lazily,
-// exactly like the result it was saved from.
+// ReadResult deserializes factor matrices written by WriteResult, verifying
+// the checksum trailer when present (legacy files without one are accepted).
+// Only the factors are restored (timings and fitness are run artifacts, not
+// state — FitnessKind on a loaded result is FitnessUnset). A factored payload
+// is restored in factored form: the loaded result materializes Q_k lazily,
+// exactly like the result it was saved from. Decode failures are reported as
+// *CorruptError.
 func ReadResult(r io.Reader) (*parafac2.Result, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	if err := expectMagic(br, resultMagic); err != nil {
+	sr := state.NewSumReader(br)
+	if err := expectMagic(sr, resultMagic); err != nil {
 		return nil, err
 	}
-	ver, err := readUints(br, 1)
+	ver, err := readUints(sr, 1)
 	if err != nil {
-		return nil, err
+		return nil, corrupt("result header", err)
 	}
 	qform := uint64(qformDense)
 	switch ver[0] {
 	case 1:
 		// Pre-factored layout: no qform field, dense payload.
 	case resultVersion:
-		qf, err := readUints(br, 1)
+		qf, err := readUints(sr, 1)
 		if err != nil {
-			return nil, err
+			return nil, corrupt("result header", err)
 		}
 		qform = qf[0]
 		if qform != qformDense && qform != qformFactored {
-			return nil, fmt.Errorf("dataio: unknown result Q form %d", qform)
+			return nil, corruptf("result: unknown Q form %d", qform)
 		}
 	default:
-		return nil, fmt.Errorf("dataio: unsupported result version %d", ver[0])
+		return nil, corruptf("result: unsupported version %d", ver[0])
 	}
-	head, err := readUints(br, 3)
+	head, err := readUints(sr, 3)
 	if err != nil {
-		return nil, err
+		return nil, corrupt("result header", err)
 	}
 	k, j, rank := head[0], head[1], head[2]
-	if k == 0 || j == 0 || rank == 0 || k > maxDim || j > maxDim || rank > maxDim {
-		return nil, fmt.Errorf("dataio: corrupt result header")
+	if k == 0 || j == 0 || rank == 0 || k > maxDim || j > maxDim || rank > maxDim ||
+		rank > maxElems/rank || j > maxElems/rank {
+		return nil, corruptf("result header (K=%d, J=%d, R=%d)", k, j, rank)
 	}
-	rows, err := readUints(br, int(k))
+	rows, err := readUints(sr, int(k))
 	if err != nil {
-		return nil, err
+		return nil, corrupt("result shape table", err)
 	}
 	for _, ik := range rows {
-		if ik == 0 || ik > maxDim {
-			return nil, fmt.Errorf("dataio: corrupt Q height %d", ik)
+		if ik == 0 || ik > maxDim || ik > maxElems/rank {
+			return nil, corruptf("result Q height %d", ik)
 		}
 	}
-	res := &parafac2.Result{
-		H: mat.New(int(rank), int(rank)),
-		V: mat.New(int(j), int(rank)),
+	res := &parafac2.Result{}
+	hdata, err := readFloatsAlloc(sr, rank*rank)
+	if err != nil {
+		return nil, corrupt("result H payload", err)
 	}
-	if err := readFloats(br, res.H.Data); err != nil {
-		return nil, err
+	res.H = mat.NewFromData(int(rank), int(rank), hdata)
+	vdata, err := readFloatsAlloc(sr, j*rank)
+	if err != nil {
+		return nil, corrupt("result V payload", err)
 	}
-	if err := readFloats(br, res.V.Data); err != nil {
-		return nil, err
-	}
+	res.V = mat.NewFromData(int(j), int(rank), vdata)
 	res.S = make([][]float64, k)
 	for i := range res.S {
-		res.S[i] = make([]float64, rank)
-		if err := readFloats(br, res.S[i]); err != nil {
-			return nil, err
+		s, err := readFloatsAlloc(sr, rank)
+		if err != nil {
+			return nil, corrupt("result S payload", err)
 		}
+		res.S[i] = s
 	}
-	readBlocks := func(heights func(i int) int) ([]*mat.Dense, error) {
+	readBlocks := func(what string, heights func(i int) uint64) ([]*mat.Dense, error) {
 		ms := make([]*mat.Dense, k)
 		for i := range ms {
-			ms[i] = mat.New(heights(i), int(rank))
-			if err := readFloats(br, ms[i].Data); err != nil {
-				return nil, err
+			h := heights(i)
+			data, err := readFloatsAlloc(sr, h*rank)
+			if err != nil {
+				return nil, corrupt(what, err)
 			}
+			ms[i] = mat.NewFromData(int(h), int(rank), data)
 		}
 		return ms, nil
 	}
 	if qform == qformFactored {
-		z, err := readBlocks(func(int) int { return int(rank) })
+		z, err := readBlocks("result Z payload", func(int) uint64 { return rank })
 		if err != nil {
 			return nil, err
 		}
-		p, err := readBlocks(func(int) int { return int(rank) })
+		p, err := readBlocks("result P payload", func(int) uint64 { return rank })
 		if err != nil {
 			return nil, err
 		}
-		a, err := readBlocks(func(i int) int { return int(rows[i]) })
+		a, err := readBlocks("result A payload", func(i int) uint64 { return rows[i] })
 		if err != nil {
+			return nil, err
+		}
+		if err := verifyTrailer(sr, "result"); err != nil {
 			return nil, err
 		}
 		res.SetFactoredQ(a, z, p)
 		return res, nil
 	}
-	q, err := readBlocks(func(i int) int { return int(rows[i]) })
+	q, err := readBlocks("result Q payload", func(i int) uint64 { return rows[i] })
 	if err != nil {
+		return nil, err
+	}
+	if err := verifyTrailer(sr, "result"); err != nil {
 		return nil, err
 	}
 	res.SetQ(q)
 	return res, nil
 }
 
-// SaveResult writes the factorization to the named file.
+// SaveResult writes the factorization to the named file atomically (see
+// SaveTensor for the crash-safety contract).
 func SaveResult(path string, res *parafac2.Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteResult(f, res); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return state.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteResult(w, res)
+	})
 }
 
 // LoadResult reads a factorization from the named file.
@@ -338,13 +401,25 @@ func WriteMatrixCSV(w io.Writer, m *mat.Dense) error {
 
 // --- low-level helpers -----------------------------------------------------
 
+// verifyTrailer checks the checksum trailer that follows the payload.
+// A cleanly absent trailer (state.ErrNoTrailer) means a legacy pre-checksum
+// file and is accepted; anything else wraps into a *CorruptError.
+func verifyTrailer(sr *state.SumReader, what string) error {
+	switch err := sr.VerifyTrailer(); {
+	case err == nil, errors.Is(err, state.ErrNoTrailer):
+		return nil
+	default:
+		return corrupt(what+" checksum", err)
+	}
+}
+
 func expectMagic(r io.Reader, magic string) error {
 	buf := make([]byte, len(magic))
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("dataio: short read on magic: %w", err)
+		return corrupt("magic", err)
 	}
 	if string(buf) != magic {
-		return fmt.Errorf("dataio: bad magic %q (want %q)", buf, magic)
+		return corruptf("magic %q (want %q)", buf, magic)
 	}
 	return nil
 }
@@ -358,14 +433,24 @@ func writeUints(w io.Writer, vals []uint64) error {
 	return err
 }
 
+// uintChunk bounds per-step allocation when reading integer tables whose
+// length comes from an untrusted header.
+const uintChunk = 1 << 13
+
+// readUints reads n little-endian uint64s, allocating incrementally so a
+// huge claimed n against a truncated stream fails after at most one chunk of
+// over-allocation instead of reserving n words up front.
 func readUints(r io.Reader, n int) ([]uint64, error) {
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("dataio: short read: %w", err)
-	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	out := make([]uint64, 0, min(n, uintChunk))
+	buf := make([]byte, 8*min(n, uintChunk))
+	for len(out) < n {
+		cnt := min(n-len(out), uintChunk)
+		if _, err := io.ReadFull(r, buf[:cnt*8]); err != nil {
+			return nil, fmt.Errorf("short read: %w", err)
+		}
+		for i := 0; i < cnt; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[i*8:]))
+		}
 	}
 	return out, nil
 }
@@ -387,17 +472,25 @@ func writeFloats(w io.Writer, vals []float64) error {
 	return nil
 }
 
-func readFloats(r io.Reader, dst []float64) error {
-	buf := make([]byte, 8*min(len(dst), floatChunk))
-	for off := 0; off < len(dst); off += floatChunk {
-		end := min(off+floatChunk, len(dst))
-		n := end - off
-		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
-			return fmt.Errorf("dataio: short read: %w", err)
+// readFloatsAlloc reads n little-endian float64s into a freshly allocated
+// slice. Like readUints it allocates as data actually arrives, so an
+// adversarial header claiming billions of elements against a short stream
+// costs at most ~2× the bytes genuinely present (append doubling) plus one
+// chunk, not 8·n bytes up front.
+func readFloatsAlloc(r io.Reader, n uint64) ([]float64, error) {
+	if n > maxElems {
+		return nil, fmt.Errorf("element count %d exceeds limit", n)
+	}
+	out := make([]float64, 0, min(int(n), floatChunk))
+	buf := make([]byte, 8*min(int(n), floatChunk))
+	for uint64(len(out)) < n {
+		cnt := min(int(n-uint64(len(out))), floatChunk)
+		if _, err := io.ReadFull(r, buf[:cnt*8]); err != nil {
+			return nil, fmt.Errorf("short read: %w", err)
 		}
-		for i := 0; i < n; i++ {
-			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		for i := 0; i < cnt; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
 		}
 	}
-	return nil
+	return out, nil
 }

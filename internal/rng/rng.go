@@ -8,7 +8,10 @@
 // worker goroutine derives its own child generator with Split.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // RNG is a deterministic pseudo-random number generator.
 // The zero value is not usable; construct with New.
@@ -52,6 +55,35 @@ func (r *RNG) Split() *RNG {
 func (r *RNG) Clone() *RNG {
 	c := *r
 	return &c
+}
+
+// State is the full serializable state of an RNG: the xoshiro256** word
+// vector plus the Box-Muller spare cache. A generator restored with FromState
+// produces the exact bit stream the original would have produced, which is
+// what lets a stream checkpoint resume bit-identically.
+type State struct {
+	S         [4]uint64
+	HaveSpare bool
+	Spare     float64
+}
+
+// ErrInvalidState reports a State that no reachable generator can have.
+var ErrInvalidState = errors.New("rng: invalid state (all-zero xoshiro words)")
+
+// State exports the generator's complete state. The snapshot is independent
+// of r: neither advancing r nor mutating the returned value affects the other.
+func (r *RNG) State() State {
+	return State{S: r.s, HaveSpare: r.haveSpare, Spare: r.spare}
+}
+
+// FromState reconstructs a generator from an exported State. It rejects the
+// all-zero word vector, which xoshiro can never reach and would emit zeros
+// forever.
+func FromState(st State) (*RNG, error) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return nil, ErrInvalidState
+	}
+	return &RNG{s: st.S, haveSpare: st.HaveSpare, spare: st.Spare}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

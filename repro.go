@@ -162,6 +162,23 @@
 // StreamingDPar2.Clone forks a stream cheaply (shared immutable bases,
 // copied mutable state) for what-if batches.
 //
+// # Durable state
+//
+// Streams survive their process: Engine.SaveStream writes a complete
+// checkpoint (config, RNG state, compressed representation, factors)
+// atomically — write-temp, fsync, rename — and Engine.ResumeStream restores
+// it, such that checkpoint → restore → Absorb is bit-identical to a stream
+// that was never interrupted. With WithStateDir and WithResultCache the
+// Engine also keeps a content-addressed, LRU-bounded result cache: a
+// repeated Decompose of the same tensor under the same deterministic knobs
+// is served from disk without running the method (Engine.CacheCounters and
+// the CacheMetrics hook report hits/misses). All persisted files — tensors
+// and results (internal/dataio), checkpoints, cache entries — are written
+// atomically and carry a sha256 content checksum; readers reject corrupt or
+// truncated input with typed errors and cap allocations against hostile
+// headers. docs/DURABILITY.md documents the formats, the crash-safety
+// contract, and the cache key in full.
+//
 // # Migration from the free functions
 //
 // The per-method free functions (DPar2, ALS, RDALS, SPARTan,

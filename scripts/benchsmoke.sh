@@ -26,7 +26,11 @@
 #   - the contended-queue bench shows a high-priority mean queue wait above
 #     the queue-wait budget, or a priority inversion (high-priority jobs
 #     waiting longer than the low-priority backlog they are meant to
-#     overtake).
+#     overtake);
+#   - a result-cache hit (BenchmarkCacheHit: key hash + cached-file read +
+#     checksum verify + decode, never the method) regresses above its
+#     allocation or latency budget (~105 allocs / ~0.9ms measured when the
+#     cache landed; budgets allow headroom to 300 allocs / 25ms).
 #
 # Besides the human-readable log, every budget check emits one machine-
 # readable JSON line on stdout of the form
@@ -35,17 +39,19 @@
 # same convention cmd/reprolint -json uses). Presence checks for the
 # guarded benchmark set emit value 1 (seen) or 0 (missing) against budget 1.
 #
-# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch]
+# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch] [max-allocs-per-cache-hit] [max-cache-hit-ms]
 set -eu
 
 budget="${1:-150}"
 absorb_budget="${2:-1500}"
 qwait_budget="${3:-250}"
 batch_budget="${4:-8}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkFactorBatch|BenchmarkEngineContendedQueue)$' -benchtime 2x -benchmem .)"
+cachehit_budget="${5:-300}"
+cachems_budget="${6:-25}"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkFactorBatch|BenchmarkEngineContendedQueue|BenchmarkCacheHit)$' -benchtime 2x -benchmem .)"
 echo "$out"
 
-echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" -v batch_budget="$batch_budget" '
+echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" -v batch_budget="$batch_budget" -v cachehit_budget="$cachehit_budget" -v cachems_budget="$cachems_budget" '
 function metric(name,   i) {
     # value of a named benchmark metric on the current line, or "" if absent
     for (i = 2; i <= NF; i++) if ($i == name) return $(i - 1)
@@ -111,6 +117,22 @@ $1 ~ /^BenchmarkFactorBatch\// {
         bad = 1
     }
 }
+$1 ~ /^BenchmarkCacheHit(-[0-9]+)?$/ {
+    seen["BenchmarkCacheHit"] = 1
+    allocs = require(metric("allocs/op"), "allocs/op")
+    ms = require(metric("ns/op"), "ns/op") / 1e6
+    printf "benchsmoke: %s %.0f allocs, %.2fms per cache hit (budgets %d allocs, %dms)\n", $1, allocs, ms, cachehit_budget, cachems_budget
+    gatejson("allocs-per-cache-hit", "BenchmarkCacheHit", allocs, cachehit_budget, allocs <= cachehit_budget)
+    gatejson("cache-hit-latency-ms", "BenchmarkCacheHit", ms, cachems_budget, ms <= cachems_budget)
+    if (allocs > cachehit_budget) {
+        printf "benchsmoke: FAIL — cache hit regressed above %d allocs\n", cachehit_budget > "/dev/stderr"
+        bad = 1
+    }
+    if (ms > cachems_budget) {
+        printf "benchsmoke: FAIL — cache hit latency %.2fms above %dms budget\n", ms, cachems_budget > "/dev/stderr"
+        bad = 1
+    }
+}
 $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
     seen["BenchmarkEngineContendedQueue"] = 1
     hi = require(metric("hi-qwait-ms"), "hi-qwait-ms")
@@ -130,7 +152,7 @@ $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
 END {
     # Every guarded benchmark must have produced a parseable result line:
     # a rename or an empty run is a hard failure, not a silent skip.
-    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue", want, " ")
+    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue BenchmarkCacheHit", want, " ")
     for (i = 1; i <= n; i++) {
         present = (want[i] in seen)
         gatejson("present", want[i], present ? 1 : 0, 1, present)

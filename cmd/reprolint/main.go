@@ -1,15 +1,23 @@
 // Command reprolint runs the repository's invariant analyzers (package
 // repro/internal/analyzers) over Go packages:
 //
-//	reprolint [-run analyzer,analyzer] [-json] [packages...]
+//	reprolint [-run analyzer,analyzer] [-json] [-gha] [-summaries file] [packages...]
 //
 // With no package arguments it checks ./... . Findings print one per line as
 //
 //	file:line:col: [analyzer] message
 //
-// (or one JSON object per line with -json, matching the machine-readable gate
-// convention of scripts/benchsmoke.sh). Exit status: 0 clean, 1 findings,
-// 2 usage or load failure.
+// (or one JSON object per line with -json). The final line is always the
+// machine-readable gate summary, matching scripts/benchsmoke.sh's convention:
+//
+//	{"gate":"reprolint","findings":N,"suppressions":M,"pass":true|false}
+//
+// -gha additionally emits GitHub Actions ::error annotations so findings
+// render inline on pull requests. -summaries names a JSON file persisting the
+// interprocedural summary store between runs: packages whose
+// dependency-chained fingerprint is unchanged skip the summary fixpoint (CI
+// caches this file keyed on export-data hashes). Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
 //
 // Suppress a finding with a //repro:allow(analyzer) directive carrying a
 // mandatory reason; reason-less or unused directives are themselves findings.
@@ -33,12 +41,15 @@ func main() {
 
 func run() int {
 	var (
-		runList  = flag.String("run", "", "comma-separated analyzer subset (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON object per finding")
-		listOnly = flag.Bool("list", false, "list analyzers and exit")
+		runList   = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		jsonOut   = flag.Bool("json", false, "emit one JSON object per finding")
+		ghaOut    = flag.Bool("gha", false, "emit GitHub Actions ::error annotations alongside findings")
+		sumPath   = flag.String("summaries", "", "path of the persistent interprocedural summary store (empty: recompute every run)")
+		listOnly  = flag.Bool("list", false, "list analyzers and exit")
+		noSummary = flag.Bool("intraprocedural", false, "skip the summary layer (analyzers degrade to intraprocedural behavior)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reprolint [-run analyzer,...] [-json] [packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-run analyzer,...] [-json] [-gha] [-summaries file] [packages...]\n\nanalyzers:\n")
 		for _, a := range analyzers.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -68,8 +79,18 @@ func run() int {
 		return 2
 	}
 
+	var table *analyzers.SummaryTable
+	if !*noSummary {
+		store := analyzers.OpenSummaryStore(*sumPath)
+		table = analyzers.ComputeSummaries(pkgs, store)
+		if err := store.Save(); err != nil {
+			// A cold cache next run, not a lint failure.
+			fmt.Fprintln(os.Stderr, "reprolint: warning: saving summary store:", err)
+		}
+	}
+
 	cwd, _ := os.Getwd()
-	findings := 0
+	findings, suppressions := 0, 0
 	for _, lp := range pkgs {
 		var diags []analyzers.Diagnostic
 		ran := map[string]bool{}
@@ -79,17 +100,20 @@ func run() int {
 			}
 			ran[a.Name] = true
 			a.Run(&analyzers.Pass{
-				Fset:   lp.Fset,
-				Files:  lp.Files,
-				Pkg:    lp.Pkg,
-				Info:   lp.Info,
-				Report: func(d analyzers.Diagnostic) { diags = append(diags, d) },
+				Fset:      lp.Fset,
+				Files:     lp.Files,
+				Pkg:       lp.Pkg,
+				Info:      lp.Info,
+				Report:    func(d analyzers.Diagnostic) { diags = append(diags, d) },
+				Summaries: table,
 			})
 		}
 		// Suppression directives are validated even in packages where no
 		// selected analyzer ran (a stale //repro:allow is a finding anywhere),
 		// but unused-ness is only judged for analyzers that ran here.
-		for _, d := range analyzers.Filter(lp.Fset, lp.Files, diags, ran) {
+		kept, used := analyzers.Filter(lp.Fset, lp.Files, diags, ran)
+		suppressions += used
+		for _, d := range kept {
 			findings++
 			pos := lp.Fset.Position(d.Pos)
 			file := pos.Filename
@@ -111,8 +135,21 @@ func run() int {
 			} else {
 				fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
 			}
+			if *ghaOut {
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=reprolint %s::%s\n",
+					file, pos.Line, pos.Column, d.Analyzer, ghaEscape(d.Message))
+			}
 		}
 	}
+
+	gate, _ := json.Marshal(map[string]any{
+		"gate":         "reprolint",
+		"findings":     findings,
+		"suppressions": suppressions,
+		"pass":         findings == 0,
+	})
+	fmt.Println(string(gate))
+
 	if findings > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", findings)
@@ -120,4 +157,13 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// ghaEscape encodes the characters GitHub Actions workflow commands reserve
+// in annotation messages.
+func ghaEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

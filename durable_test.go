@@ -302,3 +302,27 @@ func TestEngineDurableOptionValidation(t *testing.T) {
 	expectPanic("WithResultCache negative", func() { NewEngine(WithResultCache(-1)) })
 	expectPanic("cache without state dir", func() { NewEngine(WithResultCache(1 << 20)) })
 }
+
+// TestNewEngineSweepsStaleTemps: a SaveStream killed mid-write leaves a hidden
+// ".<name>.tmp-*" orphan in the state dir; the next engine built on that dir
+// must sweep it at init, while visible checkpoints survive untouched.
+func TestNewEngineSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, ".run.dpc2.tmp-12345")
+	keep := filepath.Join(dir, "run.dpc2")
+	for _, p := range []string{orphan, keep} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng := NewEngine(WithBaseConfig(engineTestConfig()), WithStateDir(dir))
+	defer eng.Close()
+
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("stale temp %s survived NewEngine (stat err: %v)", orphan, err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("visible checkpoint swept: %v", err)
+	}
+}

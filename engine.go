@@ -304,6 +304,12 @@ func NewEngine(opts ...EngineOption) *Engine {
 		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
 			panic(fmt.Sprintf("repro: WithStateDir(%q): %v", s.stateDir, err))
 		}
+		// A SaveStream interrupted by a crash leaves a hidden ".<name>.tmp-*"
+		// orphan next to its target; sweep them so the state root does not
+		// accumulate dead temps across restarts.
+		if err := state.RemoveStaleTemps(s.stateDir); err != nil {
+			panic(fmt.Sprintf("repro: WithStateDir(%q): sweep stale temps: %v", s.stateDir, err))
+		}
 	}
 	if s.cacheBytes > 0 {
 		if s.stateDir == "" {

@@ -25,8 +25,27 @@
 //     intraprocedural allocation site (make, new, append, escaping composite
 //     literals, capturing closures, go statements).
 //   - lockhold: no sync.Mutex/RWMutex held across a channel operation, a
-//     blocking compute.Pool dispatch, a WaitGroup.Wait, or a cond.Wait whose
-//     condition variable is not bound to the held lock.
+//     blocking compute.Pool dispatch, a WaitGroup.Wait, a cond.Wait whose
+//     condition variable is not bound to the held lock, or a call to a
+//     module function whose summary says it may block.
+//   - goroleak: every go statement must show join evidence — WaitGroup.Done
+//     on all paths out of the goroutine body, channel communication, or
+//     context bounding — resolved through callee summaries.
+//   - lockorder: the module-wide lock-acquisition-order graph assembled from
+//     the summaries must be acyclic; a cycle is a potential deadlock.
+//   - errdisc: fmt.Errorf must wrap error values with %w (never flatten them
+//     with %v/%s), and ctx.Err() must be returned unwrapped.
+//
+// # Interprocedural summaries
+//
+// The suite is interprocedural: before the analyzers run, a per-function
+// summary table (summary.go) is computed bottom-up over the module call
+// graph (callgraph.go) — packages in import order, intra-package mutual
+// recursion to a fixpoint. arenapair resolves ownership transferred to a
+// Put-ting helper, ctxloop resolves a context observed one call deep,
+// lockhold sees blocking hidden behind helpers, and goroleak/lockorder are
+// built on the summaries outright. Without a table (Pass.Summaries nil)
+// every analyzer degrades to its intraprocedural behavior.
 //
 // # Suppression
 //
@@ -63,6 +82,11 @@ type Pass struct {
 	Pkg    *types.Package
 	Info   *types.Info
 	Report func(Diagnostic)
+
+	// Summaries is the module-wide interprocedural summary table (see
+	// summary.go). May be nil, in which case every analyzer degrades to its
+	// intraprocedural behavior with conservative assumptions about callees.
+	Summaries *SummaryTable
 }
 
 // Reportf records a finding for the running analyzer.
@@ -88,6 +112,9 @@ func All() []*Analyzer {
 		AnalyzerCtxLoop,
 		AnalyzerNoAlloc,
 		AnalyzerLockHold,
+		AnalyzerGoroLeak,
+		AnalyzerLockOrder,
+		AnalyzerErrDisc,
 	}
 }
 

@@ -37,6 +37,9 @@ var fixtureTests = []struct {
 	{AnalyzerCtxLoop, "ctxlooptest"},
 	{AnalyzerNoAlloc, "noalloctest"},
 	{AnalyzerLockHold, "lockholdtest"},
+	{AnalyzerGoroLeak, "goroleaktest"},
+	{AnalyzerLockOrder, "lockordertest"},
+	{AnalyzerErrDisc, "errdisctest"},
 }
 
 func TestFixtures(t *testing.T) {
@@ -52,15 +55,23 @@ func runFixture(t *testing.T, a *Analyzer, dir string) {
 	fset := token.NewFileSet()
 	files, pkg, info := loadFixturePkg(t, fset, dir)
 
+	// The fixture package gets the same interprocedural treatment as a real
+	// run: its own summaries are computed (stand-in packages like "compute"
+	// stay external, i.e. trusted), so interprocedural fixture cases exercise
+	// the summary plumbing end to end.
+	lp := &LoadedPackage{Path: dir, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	table := ComputeSummaries([]*LoadedPackage{lp}, nil)
+
 	var diags []Diagnostic
 	a.Run(&Pass{
-		Fset:   fset,
-		Files:  files,
-		Pkg:    pkg,
-		Info:   info,
-		Report: func(d Diagnostic) { diags = append(diags, d) },
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		Info:      info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		Summaries: table,
 	})
-	diags = Filter(fset, files, diags, map[string]bool{a.Name: true})
+	diags, _ = Filter(fset, files, diags, map[string]bool{a.Name: true})
 
 	wants := collectWants(t, fset, files)
 	matched := make([]bool, len(wants))
@@ -207,17 +218,17 @@ func loadFixtureRaw(t *testing.T, fset *token.FileSet, dir string, imp types.Imp
 // TestByName pins the registry surface the driver depends on.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
-	two, err := ByName("determinism, lockhold")
+	two, err := ByName("goroleak, lockorder")
 	if err != nil || len(two) != 2 {
 		t.Fatalf("ByName subset failed: %v (%d)", err, len(two))
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) should fail")
 	}
-	want := []string{"determinism", "arenapair", "ctxloop", "noalloc", "lockhold"}
+	want := []string{"determinism", "arenapair", "ctxloop", "noalloc", "lockhold", "goroleak", "lockorder", "errdisc"}
 	if got := Names(); fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

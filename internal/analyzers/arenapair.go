@@ -18,7 +18,10 @@ import (
 // storing it into a field, slice, map, or another variable, sending it on a
 // channel, or capturing it in a closure all hand responsibility elsewhere.
 // Passing the buffer as an ordinary call argument is treated as use, not
-// transfer. Functions containing goto are skipped.
+// transfer — unless the interprocedural summary of the callee says otherwise:
+// a callee that Puts its parameter releases the buffer (and reaching it with
+// an already-released buffer is a double Put), and a callee that stores its
+// parameter escapes it. Functions containing goto are skipped.
 var AnalyzerArenaPair = &Analyzer{
 	Name: "arenapair",
 	Doc:  "every compute.Arena Get must reach exactly one Put on all paths out of the function",
@@ -113,11 +116,15 @@ func analyzeArenaFunc(pass *Pass, body *ast.BlockStmt) {
 	deferPut := map[*types.Var]bool{}
 	for _, d := range g.defers {
 		collectPutArgs(pass.Info, d.Call, tracked, func(v *types.Var) { deferPut[v] = true })
+		// defer release(arena, x) — a helper whose summary Puts its parameter
+		// counts the same as a direct deferred Put.
+		forSummaryPutArgs(pass, d.Call, tracked, func(v *types.Var) { deferPut[v] = true })
 		// defer func() { arena.Put(x) }() — closure-wrapped deferred Put.
 		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
 			ast.Inspect(lit.Body, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
 					collectPutArgs(pass.Info, call, tracked, func(v *types.Var) { deferPut[v] = true })
+					forSummaryPutArgs(pass, call, tracked, func(v *types.Var) { deferPut[v] = true })
 				}
 				return true
 			})
@@ -162,6 +169,27 @@ func analyzeArenaFunc(pass *Pass, body *ast.BlockStmt) {
 							}
 							if st[v] != absEscaped {
 								st[v] = absReleased
+							}
+						})
+					} else {
+						// Interprocedural ownership transfer: a callee whose
+						// summary Puts the parameter releases the buffer here;
+						// one that stores it escapes it.
+						forSummaryPutArgs(pass, e, tracked, func(v *types.Var) {
+							if st[v] == absReleased && record && !reassigned[v] {
+								doublePuts = append(doublePuts, Diagnostic{
+									Pos:      e.Pos(),
+									Analyzer: "arenapair",
+									Message:  fmt.Sprintf("arena buffer %s is already returned to the arena on every path reaching this call, and the callee Puts it again (double Put aliases its backing array)", v.Name()),
+								})
+							}
+							if st[v] != absEscaped {
+								st[v] = absReleased
+							}
+						})
+						forSummaryEscapeArgs(pass, e, tracked, func(v *types.Var) {
+							if st[v] == absOwned || st[v] == absMaybe {
+								st[v] = absEscaped
 							}
 						})
 					}
@@ -331,6 +359,38 @@ func exitNodeFor(n *cfgNode, av *arenaVar) ast.Node {
 // isArenaCall reports a method call on compute.Arena with one of names.
 func isArenaCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
 	return isMethodOn(info, call, "compute", "Arena", names...)
+}
+
+// forSummaryPutArgs invokes fn for each tracked variable passed at a
+// parameter position the call's resolved callee summary lists in PutsParams.
+func forSummaryPutArgs(pass *Pass, call *ast.CallExpr, tracked map[*types.Var]*arenaVar, fn func(*types.Var)) {
+	forSummaryArgs(pass, call, tracked, func(cs *FuncSummary) []int { return cs.PutsParams }, fn)
+}
+
+// forSummaryEscapeArgs is forSummaryPutArgs for EscapesParams.
+func forSummaryEscapeArgs(pass *Pass, call *ast.CallExpr, tracked map[*types.Var]*arenaVar, fn func(*types.Var)) {
+	forSummaryArgs(pass, call, tracked, func(cs *FuncSummary) []int { return cs.EscapesParams }, fn)
+}
+
+func forSummaryArgs(pass *Pass, call *ast.CallExpr, tracked map[*types.Var]*arenaVar, pick func(*FuncSummary) []int, fn func(*types.Var)) {
+	cs := pass.Summaries.summaryForCall(pass.Info, call)
+	if cs == nil {
+		return
+	}
+	idxs := pick(cs)
+	if len(idxs) == 0 {
+		return
+	}
+	sig, _ := calleeFunc(pass.Info, call).Type().(*types.Signature)
+	for ai, a := range call.Args {
+		v := identVar(pass.Info, a)
+		if v == nil || tracked[v] == nil {
+			continue
+		}
+		if pi := calleeParamIndex(sig, ai); pi >= 0 && intsContain(idxs, pi) {
+			fn(v)
+		}
+	}
 }
 
 // collectPutArgs invokes fn for each tracked variable passed to an Arena.Put.

@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The module-wide call graph underlying the interprocedural summary layer.
+// Nodes are declared functions and methods of the analyzed packages; edges
+// are static calls (identifier or selector calls that go/types resolves to a
+// *types.Func). Calls through function values, interface methods with no
+// visible concrete callee, and external packages have no out-edge here — the
+// summary layer treats them with explicit conservative defaults instead.
+//
+// Because Go forbids import cycles, every call cycle (mutual recursion) is
+// confined to a single package: cross-package calls follow the import DAG
+// strictly downward. ComputeSummaries exploits this — packages are processed
+// bottom-up in import order and only intra-package strongly connected
+// components need a fixpoint.
+
+// funcID is the canonical, package-qualified identity of a function across
+// packages: types.Func.FullName(), e.g. "repro/internal/compute.NewPool" or
+// "(*repro/internal/compute.Pool).Do". Identical for the source-checked
+// object and the export-data object an importing package sees, which is what
+// makes cross-package summary lookup work.
+func funcID(f *types.Func) string { return f.FullName() }
+
+// cgNode is one declared function in the graph.
+type cgNode struct {
+	id   string
+	fn   *types.Func
+	decl *ast.FuncDecl
+	// callees lists the funcIDs of statically resolved calls anywhere in the
+	// body, nested function literals included (a closure's calls happen on
+	// behalf of its creator unless spawned via go, which the summary layer
+	// separates when it aggregates effects).
+	callees []string
+}
+
+// callGraph is the per-package slice of the module graph.
+type callGraph struct {
+	nodes map[string]*cgNode
+	order []string // deterministic iteration order (position-sorted)
+}
+
+// buildCallGraph collects the declared functions of one loaded package and
+// their static call edges.
+func buildCallGraph(lp *LoadedPackage) *callGraph {
+	g := &callGraph{nodes: map[string]*cgNode{}}
+	for _, f := range lp.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := lp.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &cgNode{id: funcID(obj), fn: obj, decl: fd}
+			seen := map[string]bool{}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(lp.Info, call); callee != nil {
+					id := funcID(callee)
+					if !seen[id] {
+						seen[id] = true
+						n.callees = append(n.callees, id)
+					}
+				}
+				return true
+			})
+			sort.Strings(n.callees)
+			g.nodes[n.id] = n
+			g.order = append(g.order, n.id)
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		return g.nodes[g.order[i]].decl.Pos() < g.nodes[g.order[j]].decl.Pos()
+	})
+	return g
+}
+
+// sccs returns the graph's strongly connected components in reverse
+// topological order (callees before callers), so a single pass over the
+// result with a fixpoint inside each component reaches the global fixpoint.
+// Tarjan's algorithm emits components in exactly that order.
+func (g *callGraph) sccs() [][]*cgNode {
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]*cgNode
+	next := 0
+
+	var strongconnect func(id string)
+	strongconnect = func(id string) {
+		index[id] = next
+		lowlink[id] = next
+		next++
+		stack = append(stack, id)
+		onStack[id] = true
+
+		for _, c := range g.nodes[id].callees {
+			if _, external := g.nodes[c]; !external {
+				continue // cross-package or unresolved: not part of this SCC pass
+			}
+			if _, visited := index[c]; !visited {
+				strongconnect(c)
+				if lowlink[c] < lowlink[id] {
+					lowlink[id] = lowlink[c]
+				}
+			} else if onStack[c] && index[c] < lowlink[id] {
+				lowlink[id] = index[c]
+			}
+		}
+
+		if lowlink[id] == index[id] {
+			var comp []*cgNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, g.nodes[top])
+				if top == id {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+
+	for _, id := range g.order {
+		if _, visited := index[id]; !visited {
+			strongconnect(id)
+		}
+	}
+	return out
+}

@@ -383,6 +383,34 @@ func isPanicCall(e ast.Expr) bool {
 	return ok && id.Name == "panic"
 }
 
+// allExitsReach reports whether every path from entry to a reachable function
+// exit passes through at least one node satisfying hit. Vacuously true when no
+// exit is reachable (a for{} worker loop never falls off the end). Used by
+// goroleak to require WaitGroup.Done on all paths out of a goroutine body.
+func allExitsReach(g *cfg, hit func(*cfgNode) bool) bool {
+	// Forward reachability of the "no hit seen yet" state.
+	avoiding := make([]bool, len(g.nodes))
+	avoiding[g.entry.index] = true
+	work := []*cfgNode{g.entry}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if hit(n) {
+			continue // every path through n is covered from here on
+		}
+		if n.exit {
+			return false // fell off an exit without passing a hit
+		}
+		for _, s := range n.succs {
+			if !avoiding[s.index] {
+				avoiding[s.index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return true
+}
+
 // forEachFunc invokes fn for every function body in the file set of a pass:
 // declarations and, when deep is true, each function literal as an
 // independent unit (the literal's body is then excluded from its parent's

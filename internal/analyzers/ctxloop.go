@@ -39,7 +39,10 @@ func runCtxLoop(pass *Pass) {
 			return
 		}
 
-		// Rule 2: exported ...Ctx functions must use ctx.
+		// Rule 2: exported ...Ctx functions must use ctx — and "use" means
+		// observe: with summaries available, handing ctx exclusively to module
+		// callees that provably ignore it is the same broken promise one call
+		// deeper.
 		if decl != nil && decl.Name.IsExported() && strings.HasSuffix(decl.Name.Name, "Ctx") {
 			if !bodyMentionsVar(pass.Info, body, ctxVar) {
 				pass.Reportf("ctxloop", decl.Name.Pos(),
@@ -47,6 +50,12 @@ func runCtxLoop(pass *Pass) {
 					decl.Name.Name)
 				// A dropped ctx cannot appear in any loop either; rule 1
 				// would only duplicate the finding.
+				return
+			}
+			if !ctxObservedIn(pass.Info, pass.Summaries, body, ctxVar) {
+				pass.Reportf("ctxloop", decl.Name.Pos(),
+					"exported %s passes its context only to callees that never observe a context: the cancellation it advertises is not delivered anywhere downstream",
+					decl.Name.Name)
 				return
 			}
 		}
@@ -71,25 +80,27 @@ func checkLoops(pass *Pass, n ast.Node, ctxVar *types.Var, _ []ast.Stmt) {
 		default:
 			return true
 		}
-		if !loopIsHeavy(pass.Info, body) {
+		if !loopIsHeavy(pass.Info, pass.Summaries, body) {
 			return true
 		}
-		if bodyMentionsVar(pass.Info, body, ctxVar) {
+		if ctxObservedIn(pass.Info, pass.Summaries, body, ctxVar) {
 			return true
 		}
 		pass.Reportf("ctxloop", x.Pos(),
-			"loop dispatches heavy work but never observes ctx: check ctx.Err() (or pass ctx to the callee) each iteration so cancellation takes effect between sweeps")
+			"loop dispatches heavy work but never observes ctx: check ctx.Err() (or pass ctx to a callee that honors it) each iteration so cancellation takes effect between sweeps")
 		return false // inner loops of a flagged loop share the fix
 	})
 	_ = ctxVar
 }
 
 // loopIsHeavy reports whether the loop body dispatches heavy work: a blocking
-// compute.Pool dispatch, or a call to a context-taking function (which by
-// definition is cancellable, i.e. long enough to matter). FuncLit bodies are
+// compute.Pool dispatch, a call to a context-taking function (which by
+// definition is cancellable, i.e. long enough to matter), or — with summaries
+// available — any call whose callee transitively may block (channel waits,
+// pool dispatch, WaitGroup.Wait hidden behind a helper). FuncLit bodies are
 // included here — a closure defined in the loop body and handed to the pool
 // IS the per-iteration work.
-func loopIsHeavy(info *types.Info, body *ast.BlockStmt) bool {
+func loopIsHeavy(info *types.Info, summaries *SummaryTable, body *ast.BlockStmt) bool {
 	heavy := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if heavy {
@@ -108,6 +119,10 @@ func loopIsHeavy(info *types.Info, body *ast.BlockStmt) bool {
 				heavy = true
 				return false
 			}
+		}
+		if cs := summaries.summaryForCall(info, call); cs != nil && cs.MayBlock {
+			heavy = true
+			return false
 		}
 		return true
 	})

@@ -1,0 +1,176 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrDisc enforces the module's error-discipline contract (the
+// documented taxonomy: ErrEngineClosed, *QuotaError, *CorruptError,
+// ErrCheckpoint, ErrChecksum, and raw context errors). Two rules:
+//
+//  1. fmt.Errorf must not swallow an error value: formatting an error-typed
+//     argument with %v, %s, or any verb other than %w flattens it to text, so
+//     errors.Is/errors.As downstream can no longer match the typed error the
+//     API documents. Wrap with %w.
+//  2. ctx.Err() must be returned unwrapped. The engine's cancellation
+//     contract documents raw context.Canceled / DeadlineExceeded; a ctx.Err()
+//     routed through fmt.Errorf — even with %w — adds a layer callers were
+//     told they would not see. Return ctx.Err() directly and let the caller
+//     add context.
+//
+// Both checks are call-site local; the taxonomy itself is documented in
+// docs/INVARIANTS.md.
+var AnalyzerErrDisc = &Analyzer{
+	Name: "errdisc",
+	Doc:  "fmt.Errorf must wrap error values with %w, and ctx.Err() must be returned unwrapped",
+	Run:  runErrDisc,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runErrDisc(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrorfCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+}
+
+func isErrorfCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "Errorf" && f.Pkg() != nil && f.Pkg().Path() == "fmt"
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	// Rule 2 first: a ctx.Err() argument is a finding regardless of verb.
+	for _, a := range call.Args[1:] {
+		if isCtxErrCall(pass.Info, a) {
+			pass.Reportf("errdisc", a.Pos(),
+				"ctx.Err() routed through fmt.Errorf: the cancellation contract documents raw context errors — return ctx.Err() unwrapped and let the caller add context")
+		}
+	}
+
+	format, ok := constStringArg(pass.Info, call.Args[0])
+	if !ok {
+		return // dynamic format: nothing to check statically
+	}
+	verbs := errorfVerbs(format)
+	args := call.Args[1:]
+	if verbs == nil || len(verbs) != len(args) {
+		// Unparseable or mismatched (vet territory): fall back to the blunt
+		// check — an error-typed argument with no %w anywhere is a swallow.
+		if !strings.Contains(format, "%w") {
+			for _, a := range args {
+				if isErrorValue(pass.Info, a) {
+					reportSwallow(pass, a, "")
+					return
+				}
+			}
+		}
+		return
+	}
+	for i, a := range args {
+		if verbs[i] != "w" && isErrorValue(pass.Info, a) {
+			reportSwallow(pass, a, verbs[i])
+		}
+	}
+}
+
+func reportSwallow(pass *Pass, arg ast.Expr, verb string) {
+	with := ""
+	if verb != "" {
+		with = " with %" + verb
+	}
+	pass.Reportf("errdisc", arg.Pos(),
+		"fmt.Errorf flattens an error value%s: errors.Is/errors.As can no longer match the typed error — wrap it with %%w", with)
+}
+
+// isErrorValue reports whether e's static type implements error (excluding
+// ctx.Err() calls, which rule 2 reports separately and more specifically).
+func isErrorValue(info *types.Info, e ast.Expr) bool {
+	if isCtxErrCall(info, e) {
+		return false
+	}
+	t := info.TypeOf(e)
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isCtxErrCall reports whether e is a call of context.Context.Err.
+func isCtxErrCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != "Err" {
+		return false
+	}
+	named := recvNamed(f)
+	return named != nil && isContextType(named)
+}
+
+// constStringArg extracts a constant string value (literal or named const).
+func constStringArg(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// errorfVerbs parses a Printf-style format into one verb letter per consumed
+// argument ("*" for a dynamic width/precision). Returns nil for explicit
+// argument indexes ("%[1]d"), which this parser does not model.
+func errorfVerbs(format string) []string {
+	var verbs []string
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, "*")
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, "*")
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil
+		}
+		if i < len(format) {
+			verbs = append(verbs, string(format[i]))
+			i++
+		}
+	}
+	return verbs
+}

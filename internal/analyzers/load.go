@@ -2,6 +2,8 @@ package analyzers
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -24,6 +26,17 @@ type LoadedPackage struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Imports lists the package's direct imports (all of them, targets and
+	// dependencies alike); ComputeSummaries uses it to order packages
+	// bottom-up so callee summaries exist before their callers need them.
+	Imports []string
+	// Fingerprint is a content hash of the package's own sources plus the
+	// build-cache export paths of everything it imports. Export paths are
+	// content-addressed by the go build cache, so any change in a dependency
+	// — its own body included, transitively — moves its export path and with
+	// it this fingerprint. The summary store keys on it.
+	Fingerprint string
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -32,6 +45,7 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -51,7 +65,7 @@ func LoadPatterns(dir string, patterns ...string) ([]*LoadedPackage, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s (%s): %w", strings.Join(patterns, " "), strings.TrimSpace(stderr.String()), err)
 	}
 
 	exportFiles := map[string]string{}
@@ -62,7 +76,7 @@ func LoadPatterns(dir string, patterns ...string) ([]*LoadedPackage, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
+			return nil, fmt.Errorf("decoding go list output: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
@@ -88,7 +102,7 @@ func LoadPatterns(dir string, patterns ...string) ([]*LoadedPackage, error) {
 
 	var out []*LoadedPackage
 	for _, t := range targets {
-		lp, err := typeCheckListed(fset, t, lookup)
+		lp, err := typeCheckListed(fset, t, lookup, exportFiles)
 		if err != nil {
 			return nil, err
 		}
@@ -97,14 +111,27 @@ func LoadPatterns(dir string, patterns ...string) ([]*LoadedPackage, error) {
 	return out, nil
 }
 
-func typeCheckListed(fset *token.FileSet, t *listedPackage, lookup func(string) (io.ReadCloser, error)) (*LoadedPackage, error) {
+func typeCheckListed(fset *token.FileSet, t *listedPackage, lookup func(string) (io.ReadCloser, error), exportFiles map[string]string) (*LoadedPackage, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "pkg %s\n", t.ImportPath)
 	var files []*ast.File
 	for _, name := range t.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		path := filepath.Join(t.Dir, name)
+		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %v", name, err)
+			return nil, fmt.Errorf("reading %s: %w", name, err)
+		}
+		fmt.Fprintf(h, "file %s %x\n", name, sha256.Sum256(src))
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
 		}
 		files = append(files, f)
+	}
+	imports := append([]string(nil), t.Imports...)
+	sort.Strings(imports)
+	for _, imp := range imports {
+		fmt.Fprintf(h, "import %s=%s\n", imp, exportFiles[imp])
 	}
 	info := NewInfo()
 	conf := types.Config{
@@ -113,9 +140,17 @@ func typeCheckListed(fset *token.FileSet, t *listedPackage, lookup func(string) 
 	}
 	pkg, err := conf.Check(t.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
 	}
-	return &LoadedPackage{Path: t.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+	return &LoadedPackage{
+		Path:        t.ImportPath,
+		Fset:        fset,
+		Files:       files,
+		Pkg:         pkg,
+		Info:        info,
+		Imports:     imports,
+		Fingerprint: hex.EncodeToString(h.Sum(nil)),
+	}, nil
 }
 
 // NewInfo allocates a types.Info with every map the analyzers consult.

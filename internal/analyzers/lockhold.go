@@ -1,6 +1,7 @@
 package analyzers
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -21,12 +22,15 @@ import (
 //   - sync.Cond.Wait on a condition variable that is not bound (via
 //     sync.NewCond) to one of the locks currently held: Wait atomically
 //     unlocks ITS OWN lock, so waiting under a different held lock sleeps
-//     with that lock pinned.
+//     with that lock pinned;
+//   - a call to a module function whose interprocedural summary says it may
+//     block (a channel wait, pool dispatch, or WaitGroup.Wait hidden behind
+//     any depth of helpers).
 //
-// The analysis is an intraprocedural may-hold dataflow over the CFG: a lock
-// held on any path into a blocking node is reported. Unlock/RUnlock clears
-// the lock on that path; a deferred Unlock deliberately does not (the lock
-// really is held for the remainder of the function body).
+// The analysis is a may-hold dataflow over the CFG: a lock held on any path
+// into a blocking node is reported. Unlock/RUnlock clears the lock on that
+// path; a deferred Unlock deliberately does not (the lock really is held for
+// the remainder of the function body).
 var AnalyzerLockHold = &Analyzer{
 	Name: "lockhold",
 	Doc:  "no mutex held across channel operations, blocking pool dispatches, WaitGroup.Wait, or foreign cond.Wait",
@@ -242,6 +246,11 @@ func checkBlocking(pass *Pass, n *cfgNode, held heldSet, binds condBindings, rep
 				}
 				if isSyncMethod(pass.Info, e, "Cond", "Wait") {
 					checkCondWait(pass, e, held, binds, report)
+				}
+				if cs := pass.Summaries.summaryForCall(pass.Info, e); cs != nil && cs.MayBlock {
+					if f := calleeFunc(pass.Info, e); f != nil {
+						report(e, fmt.Sprintf("call to %s, which may block (transitively, per its interprocedural summary)", f.Name()))
+					}
 				}
 			}
 			return true

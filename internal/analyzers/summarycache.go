@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// SummaryStore persists per-package function summaries between reprolint
+// runs so CI lint stays fast as the module grows: a package whose
+// dependency-chained fingerprint (own sources + build-cache export paths of
+// everything it imports + store keys of its in-module dependencies) is
+// unchanged reuses its summaries instead of recomputing the SCC fixpoint.
+//
+// The store is a single JSON file. A missing, unreadable, or
+// version-mismatched file is an empty store, never an error — the cache can
+// only make lint faster, not wrong: a stale entry is impossible because the
+// key covers every input the summary computation reads.
+type SummaryStore struct {
+	path  string
+	dirty bool
+	data  summaryStoreFile
+}
+
+type summaryStoreFile struct {
+	Version int                          `json:"version"`
+	Entries map[string]summaryStoreEntry `json:"entries"`
+}
+
+type summaryStoreEntry struct {
+	Key   string                  `json:"key"`
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+const summaryStoreVersion = 1
+
+// OpenSummaryStore loads the store at path (which need not exist yet).
+// An empty path returns a nil store, which every method tolerates — the
+// computation simply runs uncached.
+func OpenSummaryStore(path string) *SummaryStore {
+	if path == "" {
+		return nil
+	}
+	s := &SummaryStore{path: path, data: summaryStoreFile{Version: summaryStoreVersion, Entries: map[string]summaryStoreEntry{}}}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s
+	}
+	var f summaryStoreFile
+	if json.Unmarshal(raw, &f) != nil || f.Version != summaryStoreVersion || f.Entries == nil {
+		return s
+	}
+	s.data = f
+	return s
+}
+
+// get returns the cached summaries for pkgPath when the stored key matches.
+func (s *SummaryStore) get(pkgPath, key string) map[string]*FuncSummary {
+	if s == nil {
+		return nil
+	}
+	e, ok := s.data.Entries[pkgPath]
+	if !ok || e.Key != key || e.Funcs == nil {
+		return nil
+	}
+	return e.Funcs
+}
+
+// put records freshly computed summaries for pkgPath under key.
+func (s *SummaryStore) put(pkgPath, key string, funcs map[string]*FuncSummary) {
+	if s == nil {
+		return
+	}
+	s.data.Entries[pkgPath] = summaryStoreEntry{Key: key, Funcs: funcs}
+	s.dirty = true
+}
+
+// Save writes the store back to disk when anything changed. Best-effort by
+// contract: a write failure degrades the next run to a cold cache.
+func (s *SummaryStore) Save() error {
+	if s == nil || !s.dirty {
+		return nil
+	}
+	raw, err := json.Marshal(s.data)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(s.path, raw, 0o644)
+}
+
+// hashString is the store's key digest.
+func hashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

@@ -108,8 +108,10 @@ func commentIsTrailing(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 // and directives that matched nothing become "unused suppression" findings.
 // ran names the analyzers that actually ran (nil means the full suite);
 // directives for analyzers that did not run are left alone rather than
-// reported unused. The returned slice is position-sorted.
-func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+// reported unused. The returned slice is position-sorted; the count is the
+// number of directives that suppressed at least one finding (the driver's
+// machine-readable gate line reports it so suppressions stay visible).
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) ([]Diagnostic, int) {
 	var out []Diagnostic
 	allows := collectAllows(fset, files, func(d Diagnostic) { out = append(out, d) })
 	for _, d := range diags {
@@ -126,7 +128,11 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[
 			out = append(out, d)
 		}
 	}
+	used := 0
 	for _, a := range allows {
+		if a.used {
+			used++
+		}
 		if ran != nil && !ran[a.analyzer] {
 			continue
 		}
@@ -136,5 +142,5 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[
 		}
 	}
 	SortDiagnostics(fset, out)
-	return out
+	return out, used
 }

@@ -1,0 +1,70 @@
+// Interprocedural arenapair cases: ownership transfer resolved through the
+// summary table — a callee that Puts its parameter releases the buffer, a
+// callee that stores it escapes it.
+package arenapairtest
+
+import "compute"
+
+// release hands its buffer back to the arena on behalf of callers.
+func release(a *compute.Arena, m *compute.Dense) { a.Put(m) }
+
+// releaseBoth shows the transfer surviving another call level.
+func releaseBoth(a *compute.Arena, x, y *compute.Dense) {
+	release(a, x)
+	release(a, y)
+}
+
+// putViaHelper: the Get is balanced by the helper's Put — no finding.
+func putViaHelper(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n)
+	fill(buf)
+	s := sum(buf)
+	release(a, buf)
+	return s
+}
+
+// putViaHelperTwoDeep: the transfer propagates through releaseBoth → release.
+func putViaHelperTwoDeep(a *compute.Arena, n int) {
+	x := a.Get(n, n)
+	y := a.GetUninit(n, n)
+	releaseBoth(a, x, y)
+}
+
+// doublePutViaHelper: a direct Put followed by a Put-ting helper re-releases.
+func doublePutViaHelper(a *compute.Arena, n int) {
+	buf := a.Get(n, n)
+	a.Put(buf)
+	release(a, buf) // want `already returned to the arena on every path reaching this call`
+}
+
+// deferHelperCovers: a deferred Put-ting helper covers every exit.
+func deferHelperCovers(a *compute.Arena, n int, early bool) float64 {
+	buf := a.Get(n, n)
+	defer release(a, buf)
+	if early {
+		return 0
+	}
+	fill(buf)
+	return sum(buf)
+}
+
+// keeper retains its argument beyond the call.
+var retained *compute.Dense
+
+func keep(m *compute.Dense) { retained = m }
+
+// escapeViaHelper: passing the buffer to a storing helper transfers ownership
+// out of this function — no leak finding (the helper's owner must Put it).
+func escapeViaHelper(a *compute.Arena, n int) {
+	buf := a.Get(n, n)
+	fill(buf)
+	keep(buf)
+}
+
+// helperStillLeaks: an ordinary non-Put-ting, non-storing callee is plain use;
+// the Get still leaks.
+func helperStillLeaks(a *compute.Arena, n int) float64 {
+	buf := a.Get(n, n) // want `not returned to the arena on every path`
+	fill(buf)
+	return sum(buf)
+}

@@ -1,0 +1,80 @@
+// Package errdisctest is the fixture suite for the errdisc analyzer.
+package errdisctest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// QuotaError stands in for the engine's typed errors.
+type QuotaError struct {
+	User string
+}
+
+func (e *QuotaError) Error() string { return "quota exceeded for " + e.User }
+
+var errBase = errors.New("base failure")
+
+// swallowV flattens the error to text: errors.Is can no longer match it.
+func swallowV(err error) error {
+	return fmt.Errorf("running job: %v", err) // want `flattens an error value with %v`
+}
+
+// swallowS: %s is the same flattening with different clothes.
+func swallowS(err error) error {
+	return fmt.Errorf("running job: %s", err) // want `flattens an error value with %s`
+}
+
+// swallowTyped: a typed error loses its type behind %v.
+func swallowTyped(qe *QuotaError) error {
+	return fmt.Errorf("admission: %v", qe) // want `flattens an error value with %v`
+}
+
+// wrapOK: %w keeps the chain intact.
+func wrapOK(err error) error {
+	return fmt.Errorf("running job: %w", err)
+}
+
+// wrapMixed: non-error verbs alongside a %w are fine.
+func wrapMixed(err error, attempt int) error {
+	return fmt.Errorf("attempt %d: %w", attempt, err)
+}
+
+// notAnError: strings and ints formatted with %s/%v are not findings.
+func notAnError(name string, n int) error {
+	return fmt.Errorf("bad input %q (%d items): %s", name, n, name)
+}
+
+// ctxWrapped: even %w is wrong for ctx.Err() — the documented contract is the
+// raw context error.
+func ctxWrapped(ctx context.Context) error {
+	return fmt.Errorf("sweep cancelled: %w", ctx.Err()) // want `ctx\.Err\(\) routed through fmt\.Errorf`
+}
+
+// ctxDirect: the contract — return ctx.Err() unwrapped.
+func ctxDirect(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// constFormat: constant-propagated formats are still checked.
+const prefix = "state: %v"
+
+func swallowConstFormat(err error) error {
+	return fmt.Errorf(prefix, err) // want `flattens an error value with %v`
+}
+
+// suppressed: a deliberate flatten carries an //repro:allow with the reason.
+func suppressedFlatten(err error) error {
+	return fmt.Errorf("user-facing summary: %v", err) //repro:allow(errdisc) message crosses the API boundary as opaque text; the typed error is logged separately
+}
+
+// stale: a directive with no matching finding is itself reported.
+func staleAllow(err error) error {
+	// want-next `unused //repro:allow`
+	//repro:allow(errdisc) wrapped with %w below
+	return fmt.Errorf("ok: %w", err)
+}

@@ -1,0 +1,132 @@
+// Package goroleaktest is the fixture suite for the goroleak analyzer.
+package goroleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+func work() { sink++ }
+
+// leakedLoop: no WaitGroup, no channel, no ctx — nothing can ever join it.
+func leakedLoop() {
+	go func() { // want `goroutine has no join evidence`
+		for i := 0; i < 1000000; i++ {
+			sink += i
+		}
+	}()
+}
+
+// wgDeferred: the canonical joined worker — Done deferred, covers every path.
+func wgDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// wgStraightLine: Done on the only path out; fine without a defer.
+func wgStraightLine(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done()
+	}()
+}
+
+// wgEarlyReturn: the early return skips Done, stranding the matching Wait.
+func wgEarlyReturn(wg *sync.WaitGroup, skip bool) {
+	wg.Add(1)
+	go func() { // want `WaitGroup.Done but not on all paths`
+		if skip {
+			return
+		}
+		work()
+		wg.Done()
+	}()
+}
+
+// chanJoined: sending the result ties the goroutine's lifetime to a receiver.
+func chanJoined(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// rangeJoined: draining a channel is communication — the sender's close ends it.
+func rangeJoined(in chan int) {
+	go func() {
+		for v := range in {
+			sink += v
+		}
+	}()
+}
+
+// ctxBounded: the select on ctx.Done gives cancellation a way in.
+func ctxBounded(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// spinForever has no join surface at all; spawning it leaks (interprocedural:
+// the evidence is the callee's summary, not the go statement's own body).
+func spinForever() {
+	for {
+		sink++
+	}
+}
+
+func spawnNamedLeak() {
+	go spinForever() // want `goroutine running spinForever has no join evidence`
+}
+
+// drainQueue communicates on a channel, so spawning it is joined.
+func drainQueue(in chan int) {
+	for v := range in {
+		sink += v
+	}
+}
+
+func spawnNamedJoined(in chan int) {
+	go drainQueue(in)
+}
+
+// markDone signals the WaitGroup one call deep; the summary carries the fact
+// back to the goroutine body that calls it.
+func markDone(wg *sync.WaitGroup) { wg.Done() }
+
+func wgViaHelper(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		markDone(wg)
+	}()
+}
+
+// suppressed: an intentional fire-and-forget carries an //repro:allow.
+func suppressedLeak() {
+	//repro:allow(goroleak) detached warmup touch; bounded by the first loop pass and never re-spawned
+	go func() {
+		work()
+	}()
+}
+
+// stale: a directive with no matching finding is itself reported.
+func staleAllow(out chan int) {
+	// want-next `unused //repro:allow`
+	//repro:allow(goroleak) nothing leaks here, the send joins it
+	go func() {
+		out <- 1
+	}()
+}

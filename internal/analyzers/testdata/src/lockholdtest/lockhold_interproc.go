@@ -1,0 +1,43 @@
+// Interprocedural lockhold cases: blocking hidden behind a helper is resolved
+// through the callee's MayBlock summary.
+package lockholdtest
+
+import "sync"
+
+type flusher struct {
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	pending int
+}
+
+// waitBehindHelper hides the blocking Wait one call down.
+func (f *flusher) waitBehindHelper() {
+	f.wg.Wait()
+}
+
+// flushHoldingLock blocks transitively while f.mu is held.
+func (f *flusher) flushHoldingLock() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pending = 0
+	f.waitBehindHelper() // want `call to waitBehindHelper, which may block`
+}
+
+// flushUnlockFirst releases the lock before the blocking callee — clean.
+func (f *flusher) flushUnlockFirst() {
+	f.mu.Lock()
+	f.pending = 0
+	f.mu.Unlock()
+	f.waitBehindHelper()
+}
+
+// tally is a plain non-blocking helper: calling it under the lock is fine.
+func (f *flusher) tally() {
+	f.pending++
+}
+
+func (f *flusher) addUnderLock() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tally()
+}

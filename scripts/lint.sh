@@ -1,14 +1,27 @@
 #!/usr/bin/env sh
 # Invariant lint gate: go vet plus the repository's own reprolint analyzer
-# suite (determinism, arenapair, ctxloop, noalloc, lockhold — see
-# docs/INVARIANTS.md for the catalogue and the //repro:allow suppression
-# grammar). Hard-fails on any unsuppressed finding, on reason-less or stale
-# suppressions, and on a reprolint build failure — a lint gate that cannot
-# build must never pass vacuously.
+# suite (determinism, arenapair, ctxloop, noalloc, lockhold, goroleak,
+# lockorder, errdisc — see docs/INVARIANTS.md for the catalogue and the
+# //repro:allow suppression grammar). Hard-fails on any unsuppressed finding,
+# on reason-less or stale suppressions, on a reprolint build failure — a lint
+# gate that cannot build must never pass vacuously — and on blowing the
+# wall-clock budget.
 #
 # Usage: scripts/lint.sh [packages...]     (default ./...)
-# Set REPROLINT_JSON=1 for one JSON object per finding (machine-readable,
-# matching the benchsmoke gate convention).
+#
+# Environment:
+#   REPROLINT_JSON=1            one JSON object per finding (machine-readable)
+#   REPROLINT_SUMMARIES=path    persistent interprocedural summary store
+#                               (default .reprolint-summaries.json; CI caches
+#                               it keyed on the tree's export-data hashes)
+#   REPROLINT_BUDGET_SECONDS=N  wall-clock budget for the reprolint run
+#                               (default 120)
+#
+# The reprolint run always ends with a machine-readable gate line matching the
+# benchsmoke convention: {"gate":"reprolint","findings":N,"suppressions":M,
+# "pass":...}. This script appends a second gate line for the wall-clock
+# budget. Under GitHub Actions, findings also print as ::error annotations so
+# they render inline on PRs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,12 +36,34 @@ echo "lint: building cmd/reprolint"
 go build -o /tmp/reprolint.$$ ./cmd/reprolint
 trap 'rm -f /tmp/reprolint.$$' EXIT
 
-flags=""
+flags="-summaries ${REPROLINT_SUMMARIES:-.reprolint-summaries.json}"
 if [ "${REPROLINT_JSON:-0}" = "1" ]; then
-    flags="-json"
+    flags="$flags -json"
+fi
+if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    flags="$flags -gha"
 fi
 
+budget="${REPROLINT_BUDGET_SECONDS:-120}"
+start=$(date +%s)
+
 echo "lint: reprolint $pkgs"
+status=0
 # shellcheck disable=SC2086
-/tmp/reprolint.$$ $flags $pkgs
+/tmp/reprolint.$$ $flags $pkgs || status=$?
+
+elapsed=$(( $(date +%s) - start ))
+wall_pass=true
+if [ "$elapsed" -gt "$budget" ]; then
+    wall_pass=false
+fi
+echo "{\"gate\":\"reprolint\",\"check\":\"wallclock_seconds\",\"value\":$elapsed,\"budget\":$budget,\"pass\":$wall_pass}"
+
+if [ "$status" -ne 0 ]; then
+    exit "$status"
+fi
+if [ "$wall_pass" != "true" ]; then
+    echo "lint: FAIL — reprolint took ${elapsed}s, budget ${budget}s" >&2
+    exit 1
+fi
 echo "lint: clean"

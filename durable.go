@@ -58,7 +58,7 @@ func (e *Engine) SaveStream(path string, s *StreamingDPar2) error {
 // adjust only runtime bindings the same way NewStream accepts them (an
 // option that names a non-DPar2 method is an error, like NewStream).
 func (e *Engine) ResumeStream(ctx context.Context, path string, opts ...Option) (*StreamingDPar2, error) {
-	_, _, spec, err := e.prepare(ctx, opts, true, "ResumeStream")
+	_, _, _, cfg, err := e.prepare(ctx, opts, true, "ResumeStream")
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +67,7 @@ func (e *Engine) ResumeStream(ctx context.Context, path string, opts ...Option) 
 		return nil, err
 	}
 	defer f.Close()
-	return parafac2.RestoreStream(f, spec.cfg)
+	return parafac2.RestoreStream(f, cfg)
 }
 
 // CacheCounters reports the result cache's cumulative hits and misses since
@@ -84,29 +84,34 @@ func (e *Engine) CacheCounters() (hits, misses uint64) {
 // resultCacheKey derives the cache key for one decomposition, or reports the
 // call uncacheable: caching is off, a Progress callback must run, or a
 // convergence trace was requested (the trace is not serialized). The key is
-// a sha256 over a format tag, the method name, every deterministic config
-// knob, and a digest of the tensor's serialized content — so any change to
-// input data or to a result-affecting parameter misses, while Threads/Pool
-// (which never change the computed bits) do not split the cache.
-func (e *Engine) resultCacheKey(m parafac2.Method, t *Irregular, cfg Config) (string, bool) {
-	if e.cache == nil || cfg.Progress != nil || cfg.TrackConvergence {
+// a sha256 over a format tag, the method name, the request's canonical Spec
+// (every deterministic knob, with ShardRows resolved to its effective
+// threshold), and a digest of the tensor's serialized content — so any
+// change to input data or to a result-affecting parameter misses, while
+// Threads/Pool (which never change the computed bits) do not split the
+// cache. Because the key reads only the Spec, an HTTP request resolved to
+// the same Spec (internal/service) hits the same entry as the equivalent
+// in-process call.
+func (e *Engine) resultCacheKey(m parafac2.Method, t *Irregular, js jobSpec) (string, bool) {
+	if e.cache == nil || js.run.progress != nil || js.run.trackConvergence {
 		return "", false
 	}
 	th := sha256.New()
 	if err := dataio.WriteTensor(th, t); err != nil {
 		return "", false
 	}
+	spec := js.spec
 	var knobs [9 * 8]byte
 	for i, v := range [...]uint64{
-		uint64(cfg.Rank),
-		uint64(cfg.MaxIters),
-		math.Float64bits(cfg.Tol),
-		cfg.Seed,
-		uint64(cfg.Oversample),
-		uint64(cfg.PowerIters),
-		uint64(int64(cfg.ShardRowsThreshold())),
-		math.Float64bits(cfg.Ridge),
-		boolBit(cfg.NonnegativeS),
+		uint64(spec.Rank),
+		uint64(spec.MaxIters),
+		math.Float64bits(spec.Tol),
+		spec.Seed,
+		uint64(spec.Oversample),
+		uint64(spec.PowerIters),
+		uint64(int64(spec.shardRowsThreshold())),
+		math.Float64bits(spec.Ridge),
+		boolBit(spec.NonnegativeS),
 	} {
 		binary.LittleEndian.PutUint64(knobs[i*8:], v)
 	}

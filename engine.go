@@ -47,6 +47,12 @@ type EngineStats = admission.Stats
 // TenantStats is one tenant's row in an EngineStats snapshot.
 type TenantStats = admission.TenantStats
 
+// EngineStatsSnapshot is the marshallable form of an EngineStats: tenants in
+// deterministic sorted order plus the queue's high-water depth, under stable
+// JSON field names. EngineStats.MarshalJSON emits exactly this shape — it is
+// the /v1/stats wire schema of the HTTP front end (docs/SERVICE.md).
+type EngineStatsSnapshot = admission.StatsSnapshot
+
 // Engine is the long-lived entry point for every decomposition in this
 // package: it owns one shared compute pool (workers + warm scratch arenas)
 // and runs any registered algorithm against it, either synchronously
@@ -387,21 +393,33 @@ func (e *Engine) isClosed() bool {
 	return e.closed
 }
 
+// newJobSpec seeds a jobSpec from the Engine's base configuration: the
+// base Config's deterministic knobs become the starting Spec (method
+// defaulting to DPar2) and its Progress/TrackConvergence fields the
+// starting overlay. Options then mutate either half.
+func (e *Engine) newJobSpec() jobSpec {
+	return jobSpec{
+		spec: specFromConfig(MethodDPar2, e.base),
+		run:  runOverlay{trackConvergence: e.base.TrackConvergence, progress: e.base.Progress},
+	}
+}
+
 // prepare is the shared preamble of every Engine call: reject a closed
-// engine, default a nil ctx, fold the base Config and per-call options into
-// a jobSpec, resolve the method against the registry, and pin the spec to
-// the shared pool. Callers that cannot run all methods pass dpar2Only.
-func (e *Engine) prepare(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, error) {
+// engine, default a nil ctx, compile the per-call options over the base
+// into a jobSpec (canonical Spec + local overlay), resolve the method
+// against the registry, and materialize the Config pinned to the shared
+// pool. Callers that cannot run all methods pass dpar2Only.
+func (e *Engine) prepare(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, Config, error) {
 	if e.isClosed() {
-		return ctx, nil, jobSpec{}, ErrEngineClosed
+		return ctx, nil, jobSpec{}, Config{}, ErrEngineClosed
 	}
 	return e.prepareOpen(ctx, opts, dpar2Only, op)
 }
 
 // prepareOpen is prepare without the closed check — the path jobs drained
 // after Close take (they were accepted before Close and must still run).
-func (e *Engine) prepareOpen(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, error) {
-	spec := jobSpec{method: MethodDPar2, cfg: e.base}
+func (e *Engine) prepareOpen(ctx context.Context, opts []Option, dpar2Only bool, op string) (context.Context, parafac2.Method, jobSpec, Config, error) {
+	js := e.newJobSpec()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -409,20 +427,21 @@ func (e *Engine) prepareOpen(ctx context.Context, opts []Option, dpar2Only bool,
 		if o == nil {
 			continue
 		}
-		if err := o(&spec); err != nil {
-			return ctx, nil, spec, err
+		if err := o(&js); err != nil {
+			return ctx, nil, js, Config{}, err
 		}
 	}
-	m, err := parafac2.MustLookup(string(spec.method))
+	m, err := parafac2.MustLookup(string(js.spec.Method))
 	if err != nil {
-		return ctx, nil, spec, err
+		return ctx, nil, js, Config{}, err
 	}
 	if dpar2Only && m.Name() != string(MethodDPar2) {
-		return ctx, nil, spec, fmt.Errorf("repro: %s supports only %s, got %s", op, MethodDPar2, m.Name())
+		return ctx, nil, js, Config{}, fmt.Errorf("repro: %s supports only %s, got %s", op, MethodDPar2, m.Name())
 	}
-	spec.cfg.Pool = e.pool
-	spec.cfg.Threads = e.pool.Workers()
-	return ctx, m, spec, nil
+	cfg := js.spec.config(js.run)
+	cfg.Pool = e.pool
+	cfg.Threads = e.pool.Workers()
+	return ctx, m, js, cfg, nil
 }
 
 // Decompose runs one decomposition synchronously on the shared pool: the
@@ -445,11 +464,11 @@ func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option, ten
 	if t == nil {
 		return nil, errors.New("repro: Decompose with nil tensor")
 	}
-	ctx, m, spec, err := e.prepareOpen(ctx, opts, false, "Decompose")
+	ctx, m, js, cfg, err := e.prepareOpen(ctx, opts, false, "Decompose")
 	if err != nil {
 		return nil, err
 	}
-	key, cacheable := e.resultCacheKey(m, t, spec.cfg)
+	key, cacheable := e.resultCacheKey(m, t, js)
 	if cacheable {
 		if res, ok := e.cacheLookup(key); ok {
 			e.noteCache(tenant, true)
@@ -457,7 +476,7 @@ func (e *Engine) decompose(ctx context.Context, t *Irregular, opts []Option, ten
 		}
 		e.noteCache(tenant, false)
 	}
-	res, err := m.Decompose(ctx, t, spec.cfg)
+	res, err := m.Decompose(ctx, t, cfg)
 	if err == nil && cacheable {
 		e.cacheStore(key, res)
 	}
@@ -471,11 +490,11 @@ func (e *Engine) Compress(ctx context.Context, t *Irregular, opts ...Option) (*C
 	if t == nil {
 		return nil, errors.New("repro: Compress with nil tensor")
 	}
-	ctx, _, spec, err := e.prepare(ctx, opts, true, "Compress")
+	ctx, _, _, cfg, err := e.prepare(ctx, opts, true, "Compress")
 	if err != nil {
 		return nil, err
 	}
-	return parafac2.CompressCtx(ctx, t, spec.cfg)
+	return parafac2.CompressCtx(ctx, t, cfg)
 }
 
 // DecomposeCompressed runs DPar2's iteration phase on a previously
@@ -487,11 +506,11 @@ func (e *Engine) DecomposeCompressed(ctx context.Context, c *Compressed, opts ..
 	if c == nil {
 		return nil, errors.New("repro: DecomposeCompressed with nil Compressed")
 	}
-	ctx, _, spec, err := e.prepare(ctx, opts, true, "DecomposeCompressed")
+	ctx, _, _, cfg, err := e.prepare(ctx, opts, true, "DecomposeCompressed")
 	if err != nil {
 		return nil, err
 	}
-	return parafac2.DPar2FromCompressedCtx(ctx, c, spec.cfg)
+	return parafac2.DPar2FromCompressedCtx(ctx, c, cfg)
 }
 
 // NewStream starts a streaming DPar2 decomposition on the shared pool (only
@@ -504,11 +523,11 @@ func (e *Engine) NewStream(ctx context.Context, initial *Irregular, opts ...Opti
 	if initial == nil {
 		return nil, errors.New("repro: NewStream with nil tensor")
 	}
-	ctx, _, spec, err := e.prepare(ctx, opts, true, "NewStream")
+	ctx, _, _, cfg, err := e.prepare(ctx, opts, true, "NewStream")
 	if err != nil {
 		return nil, err
 	}
-	return parafac2.NewStreamingDPar2Ctx(ctx, initial, spec.cfg)
+	return parafac2.NewStreamingDPar2Ctx(ctx, initial, cfg)
 }
 
 // Fitness evaluates a result against a tensor on the Engine's pool (the

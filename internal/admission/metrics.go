@@ -1,6 +1,7 @@
 package admission
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,20 +68,34 @@ type Stats struct {
 }
 
 // TenantStats is one tenant's aggregate view of the traffic it was served.
+//
+// The JSON tags are a stable wire contract consumed by the HTTP service's
+// /v1/stats endpoint (docs/SERVICE.md): renaming one is a breaking change.
+// Durations marshal as integer nanoseconds (encoding/json's time.Duration
+// default), hence the _ns suffixes.
 type TenantStats struct {
-	Tenant    string
-	Admitted  int64 // tickets that entered the queue
-	Rejected  int64 // admits refused (quota, closed, ctx during backpressure)
-	Started   int64 // tickets handed to a worker
-	Completed int64 // finished with a nil error
-	Failed    int64 // finished with a non-nil error
-	Cancelled int64 // cancelled while still queued
+	Tenant    string `json:"tenant"`
+	Admitted  int64  `json:"admitted"`  // tickets that entered the queue
+	Rejected  int64  `json:"rejected"`  // admits refused (quota, closed, ctx during backpressure)
+	Started   int64  `json:"started"`   // tickets handed to a worker
+	Completed int64  `json:"completed"` // finished with a nil error
+	Failed    int64  `json:"failed"`    // finished with a non-nil error
+	Cancelled int64  `json:"cancelled"` // cancelled while still queued
 
-	QueueWait time.Duration // total time started+cancelled tickets sat queued
-	RunTime   time.Duration // total pop-to-Finish time of finished tickets
+	QueueWait time.Duration `json:"queue_wait_ns"` // total time started+cancelled tickets sat queued
+	RunTime   time.Duration `json:"run_time_ns"`   // total pop-to-Finish time of finished tickets
 
-	CacheHits   int64 // result-cache hits (method never invoked)
-	CacheMisses int64 // result-cache misses (method ran)
+	CacheHits   int64 `json:"cache_hits"`   // result-cache hits (method never invoked)
+	CacheMisses int64 `json:"cache_misses"` // result-cache misses (method ran)
+}
+
+// StatsSnapshot is the marshallable form of a Stats: every tenant's
+// aggregates in deterministic (sorted by tenant name) order plus the
+// queue's high-water depth. Stats.MarshalJSON emits exactly this shape, so
+// a StatsSnapshot round-trips a marshalled Stats losslessly.
+type StatsSnapshot struct {
+	Tenants  []TenantStats `json:"tenants"`
+	MaxDepth int           `json:"max_depth"`
 }
 
 // MeanQueueWait is the average time a started or cancelled ticket spent
@@ -199,6 +214,19 @@ func (s *Stats) Snapshot() []TenantStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out
+}
+
+// SnapshotAll returns the marshallable view of the whole Stats: the sorted
+// per-tenant snapshot plus the queue's high-water depth.
+func (s *Stats) SnapshotAll() StatsSnapshot {
+	return StatsSnapshot{Tenants: s.Snapshot(), MaxDepth: s.MaxDepth()}
+}
+
+// MarshalJSON emits the StatsSnapshot form with deterministic tenant
+// ordering — the /v1/stats wire shape. (Stats itself has unexported mutable
+// state, so the default marshaller would emit nothing useful.)
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.SnapshotAll())
 }
 
 // String renders the served-traffic table — one row per tenant plus the

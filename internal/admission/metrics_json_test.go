@@ -1,0 +1,95 @@
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStatsJSONRoundTrip: marshalling a live Stats and unmarshalling into a
+// StatsSnapshot is lossless, with tenants in deterministic sorted order.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := &Stats{}
+	// Populate through the Metrics interface, out of tenant-name order, so
+	// the test also pins the sorted output ordering.
+	s.JobAdmitted("zeta", 5, 3)
+	s.JobStarted("zeta", 5, 2, 40*time.Millisecond)
+	s.JobFinished("zeta", 5, 100*time.Millisecond, nil)
+	s.JobAdmitted("alpha", 0, 7)
+	s.JobRejected("alpha", errors.New("quota"))
+	s.JobCancelled("alpha", 0, 5*time.Millisecond)
+	s.JobFinished("mid", 1, 9*time.Millisecond, errors.New("boom"))
+	s.CacheHit("alpha")
+	s.CacheMiss("alpha")
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+
+	want := s.SnapshotAll()
+	if snap.MaxDepth != want.MaxDepth {
+		t.Fatalf("max_depth %d, want %d", snap.MaxDepth, want.MaxDepth)
+	}
+	if len(snap.Tenants) != len(want.Tenants) {
+		t.Fatalf("tenant count %d, want %d", len(snap.Tenants), len(want.Tenants))
+	}
+	for i := range want.Tenants {
+		if snap.Tenants[i] != want.Tenants[i] {
+			t.Fatalf("tenant %d: %+v, want %+v", i, snap.Tenants[i], want.Tenants[i])
+		}
+	}
+	// Deterministic ordering: sorted by tenant name.
+	for i := 1; i < len(snap.Tenants); i++ {
+		if snap.Tenants[i-1].Tenant >= snap.Tenants[i].Tenant {
+			t.Fatalf("tenants not sorted: %q before %q",
+				snap.Tenants[i-1].Tenant, snap.Tenants[i].Tenant)
+		}
+	}
+}
+
+// TestStatsJSONDeterministic: repeated marshals of the same state are
+// byte-identical (map iteration order must not leak into the output).
+func TestStatsJSONDeterministic(t *testing.T) {
+	s := &Stats{}
+	for _, tenant := range []string{"b", "a", "c", "", "d"} {
+		s.JobAdmitted(tenant, 0, 1)
+	}
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		again, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("marshal %d differs:\n%s\n%s", i, first, again)
+		}
+	}
+}
+
+// TestStatsJSONFieldNames pins the wire contract /v1/stats documents.
+func TestStatsJSONFieldNames(t *testing.T) {
+	s := &Stats{}
+	s.JobAdmitted("t", 0, 1)
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"tenants"`, `"max_depth"`, `"tenant"`,
+		`"admitted"`, `"rejected"`, `"started"`, `"completed"`, `"failed"`,
+		`"cancelled"`, `"queue_wait_ns"`, `"run_time_ns"`, `"cache_hits"`,
+		`"cache_misses"`} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("wire form missing field %s: %s", field, raw)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// BenchmarkServiceDecomposeRoundTrip measures the transport tax: the same
+// decomposition through a loopback HTTP server versus directly on the
+// Engine. The headline metrics are http-ms (full round trip: JSON request,
+// admission queue, decomposition, DPF2+base64 response) and overhead-ms
+// (round trip minus the in-process time — serialization + HTTP + queue
+// only), which scripts/benchsmoke.sh holds under its latency budget.
+func BenchmarkServiceDecomposeRoundTrip(b *testing.B) {
+	ts := newTestServer(b, Config{}, repro.WithEngineThreads(2))
+	ctx := context.Background()
+	g := repro.NewRNG(5)
+	ten := repro.LowRankTensor(g, []int{60, 70, 50, 65}, 40, 6, 0.02)
+	info, err := ts.client.UploadTensor(ctx, ten)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rank, seed, iters, tol := 6, uint64(9), 8, 0.0
+	req := DecomposeRequest{
+		TensorID: info.TensorID,
+		Spec:     SpecRequest{Rank: &rank, Seed: &seed, MaxIters: &iters, Tol: &tol},
+	}
+	opts := []repro.Option{
+		repro.WithRank(rank), repro.WithSeed(seed), repro.WithMaxIters(iters), repro.WithTolerance(tol),
+	}
+
+	// Warm both paths once (pool arenas, HTTP connection) outside the timer.
+	if _, err := ts.eng.Decompose(ctx, ten, opts...); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := ts.client.Decompose(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+
+	var direct, http time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := ts.eng.Decompose(ctx, ten, opts...); err != nil {
+			b.Fatal(err)
+		}
+		direct += time.Since(start)
+
+		start = time.Now()
+		if _, _, err := ts.client.Decompose(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		http += time.Since(start)
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	directMS := direct.Seconds() * 1e3 / n
+	httpMS := http.Seconds() * 1e3 / n
+	b.ReportMetric(directMS, "direct-ms")
+	b.ReportMetric(httpMS, "http-ms")
+	b.ReportMetric(httpMS-directMS, "overhead-ms")
+}

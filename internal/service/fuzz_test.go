@@ -1,0 +1,103 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/dataio"
+)
+
+// fuzzServer builds one small shared server for the fuzz targets. The
+// engine is single-threaded and the body cap small: the fuzz corpus probes
+// the decode/validate surface, never a real decomposition.
+func fuzzServer(f *testing.F) *httptest.Server {
+	f.Helper()
+	eng := repro.NewEngine(repro.WithEngineThreads(1))
+	srv, err := New(Config{Engine: eng, MaxBodyBytes: 1 << 20})
+	if err != nil {
+		eng.Close()
+		f.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	f.Cleanup(func() {
+		hs.Close()
+		eng.Close()
+	})
+	return hs
+}
+
+// post sends one fuzzed body and asserts the server's contract under
+// arbitrary input: it answers (no hang, no crash — a handler panic surfaces
+// as a 500 with an empty body through httptest, which the envelope check
+// catches on picky inputs), and every non-2xx reply carries the documented
+// error envelope.
+func post(t *testing.T, hs *httptest.Server, path, contentType string, body []byte) {
+	t.Helper()
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Post(hs.URL+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("transport error on fuzzed body: %v", err)
+	}
+	// Read the whole reply, then close: a drained body lets the transport
+	// reuse the connection — at fuzz throughput, undrained bodies exhaust
+	// the ephemeral port range in TIME_WAIT within seconds.
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read reply on fuzzed body: %v", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		return
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("HTTP %d reply is not an error envelope: %v (%.120s)", resp.StatusCode, err, raw)
+	}
+	if er.Error.Code == "" || er.Error.Status != resp.StatusCode {
+		t.Fatalf("HTTP %d carried malformed error body %+v", resp.StatusCode, er.Error)
+	}
+}
+
+// FuzzTensorUpload drives arbitrary bytes through the hardened DPT2 upload
+// path: every rejection must be a clean 400/413 envelope, every acceptance
+// a well-formed TensorInfo.
+func FuzzTensorUpload(f *testing.F) {
+	hs := fuzzServer(f)
+	var buf bytes.Buffer
+	g := repro.NewRNG(1)
+	if err := dataio.WriteTensor(&buf, repro.LowRankTensor(g, []int{8, 6}, 5, 2, 0.1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte("DPT2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		post(t, hs, "/v1/tensors", "application/octet-stream", data)
+	})
+}
+
+// FuzzDecomposeRequest drives arbitrary JSON through the request decode and
+// spec-resolution path of the sync, async, and stream-create endpoints. No
+// tensor is ever uploaded, so no input reaches a real decomposition: the
+// fuzzer exhausts the decode/validate surface alone.
+func FuzzDecomposeRequest(f *testing.F) {
+	hs := fuzzServer(f)
+	f.Add([]byte(`{"tensor_id":"t-0000","spec":{"rank":4,"seed":7}}`))
+	f.Add([]byte(`{"tensor_id":"","spec":{"full":{"method":"dpar2","rank":1,"max_iters":1}}}`))
+	f.Add([]byte(`{"tensor_id":"t-0000","spec":{"rank":-1},"timeout_ms":-5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"stream_id":"../x","tensor_id":"t-0000"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		post(t, hs, "/v1/decompose", "application/json", data)
+		post(t, hs, "/v1/jobs", "application/json", data)
+		post(t, hs, "/v1/streams", "application/json", data)
+	})
+}

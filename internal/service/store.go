@@ -1,0 +1,201 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro"
+	"repro/internal/dataio"
+)
+
+// This file is the server's in-memory resource tables. All three are plain
+// structs guarded by the owning Server's mutex — none blocks while held, so
+// handlers lock only around table reads/writes and do every engine call
+// (which may block on admission backpressure or the pool) unlocked.
+
+// ----- tensors ---------------------------------------------------------------
+
+// storedTensor is one uploaded tensor: the parsed form plus its wire info.
+type storedTensor struct {
+	tensor *repro.Irregular
+	info   TensorInfo
+}
+
+// tensorStore is a content-addressed tensor table with LRU eviction by
+// count. Uploads are idempotent: the ID is the sha256 of the canonical DPT2
+// serialization, so the same tensor re-uploaded lands on the same entry.
+type tensorStore struct {
+	max     int
+	byID    map[string]*storedTensor
+	order   []string // access order, oldest first
+	evicted int64
+}
+
+func newTensorStore(max int) *tensorStore {
+	return &tensorStore{max: max, byID: make(map[string]*storedTensor)}
+}
+
+// tensorID derives the content address of a parsed tensor. The canonical
+// serialization (not the uploaded bytes) is hashed, so any byte stream that
+// decodes to the same tensor gets the same ID.
+func tensorID(t *repro.Irregular) (string, error) {
+	h := sha256.New()
+	if err := dataio.WriteTensor(h, t); err != nil {
+		return "", fmt.Errorf("service: hash tensor: %w", err)
+	}
+	return "t-" + hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// put inserts (or refreshes) a tensor and returns its info, evicting the
+// least-recently-used entries beyond the cap.
+func (ts *tensorStore) put(t *repro.Irregular) (TensorInfo, error) {
+	id, err := tensorID(t)
+	if err != nil {
+		return TensorInfo{}, err
+	}
+	if st, ok := ts.byID[id]; ok {
+		ts.touch(id)
+		return st.info, nil
+	}
+	info := TensorInfo{
+		TensorID: id,
+		K:        t.K(),
+		J:        t.J,
+		MaxRows:  t.MaxRows(),
+		Elements: int64(t.NumElements()),
+		Bytes:    t.SizeBytes(),
+	}
+	ts.byID[id] = &storedTensor{tensor: t, info: info}
+	ts.order = append(ts.order, id)
+	for len(ts.order) > ts.max {
+		victim := ts.order[0]
+		ts.order = ts.order[1:]
+		delete(ts.byID, victim)
+		ts.evicted++
+	}
+	return info, nil
+}
+
+// get looks a tensor up and marks it recently used.
+func (ts *tensorStore) get(id string) (*storedTensor, bool) {
+	st, ok := ts.byID[id]
+	if ok {
+		ts.touch(id)
+	}
+	return st, ok
+}
+
+func (ts *tensorStore) touch(id string) {
+	for i, cur := range ts.order {
+		if cur == id {
+			ts.order = append(append(ts.order[:i:i], ts.order[i+1:]...), id)
+			return
+		}
+	}
+}
+
+func (ts *tensorStore) len() int { return len(ts.byID) }
+
+// ----- jobs ------------------------------------------------------------------
+
+// jobRec is one async job. Status/meta/errBody/resultDPF2 are written once
+// by the completion path (the submit handler on an immediate result, or the
+// watcher goroutine) and read by the poll handlers, all under the Server's
+// mutex. cancel releases the job's context; it is always called exactly once
+// at completion, and may be called again by DELETE (contexts make that
+// idempotent).
+type jobRec struct {
+	id     string
+	tenant string
+	spec   repro.Spec
+	cancel func()
+
+	status     string
+	meta       *ResultMeta
+	errBody    *ErrorBody
+	resultDPF2 []byte
+}
+
+func (j *jobRec) statusView() JobStatus {
+	return JobStatus{
+		JobID:  j.id,
+		Status: j.status,
+		Tenant: j.tenant,
+		Spec:   j.spec,
+		Meta:   j.meta,
+		Error:  j.errBody,
+	}
+}
+
+// ----- streams ---------------------------------------------------------------
+
+// streamRec is one server-side streaming session. The Server's mutex guards
+// only the table slot; the session itself — the stream object and the
+// counters beside it — is serialized by sem, a capacity-1 semaphore channel
+// that absorb/checkpoint/status handlers acquire context-aware. A channel
+// (not a mutex) because the holder blocks in AbsorbCtx on the shared pool:
+// waiters must stay cancellable, and nothing may sleep on a lock.
+type streamRec struct {
+	id   string
+	sem  chan struct{}
+	spec repro.Spec
+
+	st       *repro.StreamingDPar2
+	absorbs  int64
+	resumed  bool
+	ckptPath string // absolute; "" when the server has no state dir
+}
+
+func newStreamRec(id string, spec repro.Spec, st *repro.StreamingDPar2, resumed bool, ckptPath string) *streamRec {
+	return &streamRec{
+		id:       id,
+		sem:      make(chan struct{}, 1),
+		spec:     spec,
+		st:       st,
+		resumed:  resumed,
+		ckptPath: ckptPath,
+	}
+}
+
+// infoView renders the status view. Callers hold the record's semaphore.
+func (sr *streamRec) infoView() StreamInfo {
+	res := sr.st.Result()
+	return StreamInfo{
+		StreamID: sr.id,
+		Spec:     sr.spec,
+		K:        sr.st.K(),
+		Absorbs:  sr.absorbs,
+		Resumed:  sr.resumed,
+		Durable:  sr.ckptPath != "",
+		Meta:     metaOf(res),
+	}
+}
+
+// metaOf extracts the wire metadata of a result.
+func metaOf(res *repro.Result) ResultMeta {
+	return ResultMeta{
+		Fitness:           res.Fitness,
+		FitnessKind:       res.FitnessKind.String(),
+		Iters:             res.Iters,
+		PreprocessedBytes: res.PreprocessedBytes,
+	}
+}
+
+// validStreamID enforces the documented name shape: 1–64 bytes of letters,
+// digits, '_', '-' (it becomes a checkpoint file name, so path metacharacters
+// must never pass).
+func validStreamID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -29,13 +29,24 @@ const (
 // paper's legend order.
 func Methods() []string { return parafac2.MethodNames() }
 
-// jobSpec is the resolved per-call request an Engine executes: which
-// algorithm, under which Config. Options mutate it; the Engine fills in the
-// shared pool afterwards (a per-call Pool/Threads cannot override the
-// Engine's — that is the point of the Engine).
+// jobSpec is the resolved per-call request an Engine executes: the
+// canonical serializable Spec (method + the nine deterministic knobs) plus
+// the local-only runOverlay of non-serializable request state. Options
+// mutate it; the Engine materializes a Config and pins it to the shared
+// pool afterwards (a per-call Pool/Threads cannot override the Engine's —
+// that is the point of the Engine).
 type jobSpec struct {
-	method MethodID
-	cfg    Config
+	spec Spec
+	run  runOverlay
+}
+
+// runOverlay is the per-call state that deliberately does NOT travel with a
+// Spec: in-process callbacks and trace capture. Requests arriving over a
+// transport (internal/service) always carry a zero overlay; in-process
+// callers layer these options over any Spec.
+type runOverlay struct {
+	trackConvergence bool
+	progress         func(iter int, measure float64) bool
 }
 
 // Option configures one decomposition request (Engine.Decompose, a submitted
@@ -55,7 +66,7 @@ func WithMethod(m MethodID) Option {
 		if _, err := parafac2.MustLookup(string(m)); err != nil {
 			return err
 		}
-		j.method = m
+		j.spec.Method = m
 		return nil
 	}
 }
@@ -66,7 +77,7 @@ func WithRank(r int) Option {
 		if r <= 0 {
 			return fmt.Errorf("repro: WithRank(%d): rank must be positive", r)
 		}
-		j.cfg.Rank = r
+		j.spec.Rank = r
 		return nil
 	}
 }
@@ -77,7 +88,7 @@ func WithMaxIters(n int) Option {
 		if n <= 0 {
 			return fmt.Errorf("repro: WithMaxIters(%d): must be positive", n)
 		}
-		j.cfg.MaxIters = n
+		j.spec.MaxIters = n
 		return nil
 	}
 }
@@ -89,7 +100,7 @@ func WithTolerance(tol float64) Option {
 		if tol < 0 {
 			return fmt.Errorf("repro: WithTolerance(%g): must be >= 0", tol)
 		}
-		j.cfg.Tol = tol
+		j.spec.Tol = tol
 		return nil
 	}
 }
@@ -98,7 +109,7 @@ func WithTolerance(tol float64) Option {
 // sketches. Two runs with identical options and tensor are bit-identical.
 func WithSeed(seed uint64) Option {
 	return func(j *jobSpec) error {
-		j.cfg.Seed = seed
+		j.spec.Seed = seed
 		return nil
 	}
 }
@@ -109,7 +120,7 @@ func WithOversample(p int) Option {
 		if p < 0 {
 			return fmt.Errorf("repro: WithOversample(%d): must be >= 0", p)
 		}
-		j.cfg.Oversample = p
+		j.spec.Oversample = p
 		return nil
 	}
 }
@@ -125,7 +136,7 @@ func WithOversample(p int) Option {
 // pool.
 func WithShardRows(n int) Option {
 	return func(j *jobSpec) error {
-		j.cfg.ShardRows = n
+		j.spec.ShardRows = n
 		return nil
 	}
 }
@@ -136,7 +147,7 @@ func WithPowerIters(q int) Option {
 		if q < 0 {
 			return fmt.Errorf("repro: WithPowerIters(%d): must be >= 0", q)
 		}
-		j.cfg.PowerIters = q
+		j.spec.PowerIters = q
 		return nil
 	}
 }
@@ -147,7 +158,7 @@ func WithRidge(lambda float64) Option {
 		if lambda < 0 {
 			return fmt.Errorf("repro: WithRidge(%g): must be >= 0", lambda)
 		}
-		j.cfg.Ridge = lambda
+		j.spec.Ridge = lambda
 		return nil
 	}
 }
@@ -155,7 +166,7 @@ func WithRidge(lambda float64) Option {
 // WithNonnegativeS constrains the S_k weights to be nonnegative.
 func WithNonnegativeS() Option {
 	return func(j *jobSpec) error {
-		j.cfg.NonnegativeS = true
+		j.spec.NonnegativeS = true
 		return nil
 	}
 }
@@ -164,7 +175,7 @@ func WithNonnegativeS() Option {
 // Result.ConvergenceTrace.
 func WithConvergenceTrace() Option {
 	return func(j *jobSpec) error {
-		j.cfg.TrackConvergence = true
+		j.run.trackConvergence = true
 		return nil
 	}
 }
@@ -174,7 +185,7 @@ func WithConvergenceTrace() Option {
 // an error). Called from the decomposition goroutine.
 func WithProgress(fn func(iter int, measure float64) bool) Option {
 	return func(j *jobSpec) error {
-		j.cfg.Progress = fn
+		j.run.progress = fn
 		return nil
 	}
 }
@@ -182,13 +193,14 @@ func WithProgress(fn func(iter int, measure float64) bool) Option {
 // WithConfig replaces the whole base Config for this call — the migration
 // escape hatch for code that already builds a Config. The Config's Pool and
 // Threads fields are ignored: every Engine call runs on the Engine's shared
-// pool (that is the Engine's contract). Combine with other options freely;
-// order matters.
+// pool (that is the Engine's contract). Internally the Config splits into
+// its serializable Spec (the deterministic knobs) and the local-only
+// overlay (Progress, TrackConvergence) — see Spec. Combine with other
+// options freely; order matters.
 func WithConfig(cfg Config) Option {
 	return func(j *jobSpec) error {
-		cfg.Pool = nil
-		cfg.Threads = 0
-		j.cfg = cfg
+		j.spec = specFromConfig(j.spec.Method, cfg)
+		j.run = runOverlay{trackConvergence: cfg.TrackConvergence, progress: cfg.Progress}
 		return nil
 	}
 }

@@ -179,6 +179,19 @@
 // headers. docs/DURABILITY.md documents the formats, the crash-safety
 // contract, and the cache key in full.
 //
+// # Serving over HTTP
+//
+// Every deterministic knob of a call compiles into a serializable Spec:
+// Engine.ResolveSpec turns a set of Options into the fully resolved form,
+// WithSpec replays one, and equal Specs mean bit-identical results (the
+// result cache is keyed accordingly). That is what makes the Engine
+// servable: cmd/dpar2d exposes Decompose/Submit/NewStream over HTTP/JSON —
+// tensor upload, async job handles, durable streaming sessions that survive
+// a daemon kill bit-identically, per-tenant 429s off the admission layer,
+// and /stats off EngineStats. The API contract, error taxonomy, and session
+// stickiness rules live in docs/SERVICE.md; the typed Go client is
+// internal/service.Client, and examples/service walks the whole surface.
+//
 // # Migration from the free functions
 //
 // The per-method free functions (DPar2, ALS, RDALS, SPARTan,

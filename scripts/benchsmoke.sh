@@ -3,8 +3,9 @@
 # (BenchmarkDPar2 end-to-end, BenchmarkDPar2IterationAllocs for the
 # allocation budget, BenchmarkDPar2TallSlice for the sharded stage-1 path,
 # BenchmarkAbsorb for the streaming absorb path, BenchmarkFactorBatch for
-# the fused batched small-SVD sweep, and BenchmarkEngineContendedQueue for
-# the admission scheduler) and fails when
+# the fused batched small-SVD sweep, BenchmarkEngineContendedQueue for
+# the admission scheduler, and BenchmarkServiceDecomposeRoundTrip for the
+# HTTP front end's transport overhead) and fails when
 #   - any expected benchmark is missing from the output or its metrics do
 #     not parse — a renamed benchmark or an empty result line is a hard
 #     failure, never a vacuous pass;
@@ -30,7 +31,12 @@
 #   - a result-cache hit (BenchmarkCacheHit: key hash + cached-file read +
 #     checksum verify + decode, never the method) regresses above its
 #     allocation or latency budget (~105 allocs / ~0.9ms measured when the
-#     cache landed; budgets allow headroom to 300 allocs / 25ms).
+#     cache landed; budgets allow headroom to 300 allocs / 25ms);
+#   - the HTTP service's transport tax regresses: the loopback round trip of
+#     BenchmarkServiceDecomposeRoundTrip (JSON request + admission queue +
+#     DPF2 response, minus the in-process decomposition time) must stay
+#     under the service-overhead budget (~5ms measured when the service
+#     landed; the budget allows headroom to 250ms).
 #
 # Besides the human-readable log, every budget check emits one machine-
 # readable JSON line on stdout of the form
@@ -39,7 +45,7 @@
 # same convention cmd/reprolint -json uses). Presence checks for the
 # guarded benchmark set emit value 1 (seen) or 0 (missing) against budget 1.
 #
-# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch] [max-allocs-per-cache-hit] [max-cache-hit-ms]
+# Usage: scripts/benchsmoke.sh [max-allocs-per-iter] [max-allocs-per-absorb] [max-hi-qwait-ms] [max-allocs-per-batch] [max-allocs-per-cache-hit] [max-cache-hit-ms] [max-service-overhead-ms]
 set -eu
 
 budget="${1:-150}"
@@ -48,10 +54,12 @@ qwait_budget="${3:-250}"
 batch_budget="${4:-8}"
 cachehit_budget="${5:-300}"
 cachems_budget="${6:-25}"
-out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkFactorBatch|BenchmarkEngineContendedQueue|BenchmarkCacheHit)$' -benchtime 2x -benchmem .)"
+svc_budget="${7:-250}"
+out="$(go test -run '^$' -bench '^(BenchmarkDPar2|BenchmarkDPar2IterationAllocs|BenchmarkDPar2TallSlice|BenchmarkAbsorb|BenchmarkFactorBatch|BenchmarkEngineContendedQueue|BenchmarkCacheHit)$' -benchtime 2x -benchmem .)
+$(go test -run '^$' -bench '^BenchmarkServiceDecomposeRoundTrip$' -benchtime 2x -benchmem ./internal/service/)"
 echo "$out"
 
-echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" -v batch_budget="$batch_budget" -v cachehit_budget="$cachehit_budget" -v cachems_budget="$cachems_budget" '
+echo "$out" | awk -v budget="$budget" -v absorb_budget="$absorb_budget" -v qwait_budget="$qwait_budget" -v batch_budget="$batch_budget" -v cachehit_budget="$cachehit_budget" -v cachems_budget="$cachems_budget" -v svc_budget="$svc_budget" '
 function metric(name,   i) {
     # value of a named benchmark metric on the current line, or "" if absent
     for (i = 2; i <= NF; i++) if ($i == name) return $(i - 1)
@@ -133,6 +141,17 @@ $1 ~ /^BenchmarkCacheHit(-[0-9]+)?$/ {
         bad = 1
     }
 }
+$1 ~ /^BenchmarkServiceDecomposeRoundTrip(-[0-9]+)?$/ {
+    seen["BenchmarkServiceDecomposeRoundTrip"] = 1
+    overhead = require(metric("overhead-ms"), "overhead-ms")
+    httpms   = require(metric("http-ms"), "http-ms")
+    printf "benchsmoke: %s %.2fms round trip, %.2fms transport overhead (budget %dms)\n", $1, httpms, overhead, svc_budget
+    gatejson("service-overhead-ms", "BenchmarkServiceDecomposeRoundTrip", overhead, svc_budget, overhead <= svc_budget)
+    if (overhead > svc_budget) {
+        printf "benchsmoke: FAIL — HTTP service overhead %.2fms above %dms budget\n", overhead, svc_budget > "/dev/stderr"
+        bad = 1
+    }
+}
 $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
     seen["BenchmarkEngineContendedQueue"] = 1
     hi = require(metric("hi-qwait-ms"), "hi-qwait-ms")
@@ -152,7 +171,7 @@ $1 ~ /^BenchmarkEngineContendedQueue(-[0-9]+)?$/ {
 END {
     # Every guarded benchmark must have produced a parseable result line:
     # a rename or an empty run is a hard failure, not a silent skip.
-    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue BenchmarkCacheHit", want, " ")
+    n = split("BenchmarkDPar2 BenchmarkDPar2IterationAllocs BenchmarkDPar2TallSlice BenchmarkAbsorb/K8 BenchmarkAbsorb/K64 BenchmarkFactorBatch/K8 BenchmarkFactorBatch/K64 BenchmarkEngineContendedQueue BenchmarkCacheHit BenchmarkServiceDecomposeRoundTrip", want, " ")
     for (i = 1; i <= n; i++) {
         present = (want[i] in seen)
         gatejson("present", want[i], present ? 1 : 0, 1, present)
